@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark times a full simulation run on the host (that is what
+pytest-benchmark measures) and attaches the *simulated* metrics — cycles,
+instructions, aggregate host MIPS — as ``extra_info`` so the paper's
+tables and figures can be read straight out of the benchmark report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coyote import Simulation, SimulationConfig
+
+
+def run_coyote(workload, config: SimulationConfig):
+    """Run one workload under the full Coyote model, verifying output."""
+    simulation = Simulation(config, workload.program)
+    results = simulation.run()
+    assert results.succeeded(), f"{workload.name}: non-zero exit"
+    assert workload.verify(simulation.memory), \
+        f"{workload.name}: output mismatch"
+    return results
+
+
+def bench_coyote(benchmark, make_workload, config: SimulationConfig,
+                 label: str = ""):
+    """Benchmark a Coyote run; returns the last run's results.
+
+    The workload is rebuilt per round because a Simulation is single-use.
+    """
+    state = {}
+
+    def target():
+        workload = make_workload()
+        state["results"] = run_coyote(workload, config)
+
+    benchmark.pedantic(target, rounds=1, iterations=1, warmup_rounds=0)
+    results = state["results"]
+    benchmark.extra_info.update({
+        "label": label,
+        "sim_cycles": results.cycles,
+        "sim_instructions": results.instructions,
+        "host_mips": round(results.host_mips, 4),
+        "ipc": round(results.ipc, 3),
+        "l1d_miss_rate": round(results.l1d_miss_rate(), 4),
+        "raw_stall_cycles": results.raw_stall_cycles,
+    })
+    return results

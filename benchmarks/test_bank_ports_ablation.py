@@ -1,0 +1,35 @@
+"""Ablation (extension): bank port throughput x bank count.
+
+§IV lists "bank composition" among the memory-architecture knobs to
+explore.  With idealised banks (the paper's default) the bank count only
+affects mapping; with a single port per bank (one request accepted every
+N cycles), splitting the L2 into more banks buys real aggregate
+throughput — the trade-off this sweep quantifies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import stream_triad
+
+CORES = 8
+
+
+@pytest.mark.parametrize("ports", [0, 4],
+                         ids=["ideal-bank", "1req-per-4cyc"])
+@pytest.mark.parametrize("banks", [1, 2, 8])
+def test_bank_composition(benchmark, banks, ports):
+    config = SimulationConfig.for_cores(
+        CORES, banks_per_tile=banks, l2_cycles_per_request=ports)
+    results = bench_coyote(
+        benchmark,
+        lambda: stream_triad(length=2048, num_cores=CORES),
+        config, label=f"banks{banks}-ports{ports}")
+    conflicts = sum(
+        sample.value for sample in results.hierarchy_samples
+        if sample.name == "port_conflict_cycles")
+    print(f"\n[banks] count={banks} port={'ideal' if not ports else ports} "
+          f"cycles={results.cycles:6d} conflict_cycles={int(conflicts)}")

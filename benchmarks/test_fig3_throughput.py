@@ -1,0 +1,60 @@
+"""Figure 3 — aggregate simulation throughput vs simulated cores.
+
+The paper plots MIPS (host-side simulation throughput) for scalar Matmul
+and scalar SpMV on 1..128 simulated cores, with Spike's interleaving
+disabled — reaching ~1.5 MIPS at 1 core and ~6 MIPS at 128.
+
+This bench regenerates the same series on our substrate.  The SpMV sweep
+is weak-scaled (constant rows per core) so all cores stay busy across
+the axis, matching the intent of an aggregate-throughput figure; the
+Matmul sweep keeps the paper-style fixed problem (rows split across
+cores; core counts beyond the row count leave the extras idle after
+boot).  Absolute MIPS is ~3 orders of magnitude below the paper's C++
+substrate; see EXPERIMENTS.md for the shape discussion.
+
+Run just this figure with::
+
+    pytest benchmarks/test_fig3_throughput.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import scalar_matmul, scalar_spmv
+
+CORE_COUNTS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+MATMUL_SIZE = 24          # fixed problem, split across cores (paper style)
+SPMV_ROWS_PER_CORE = 12   # weak scaling: constant per-core work
+SPMV_NNZ = 8
+
+
+@pytest.mark.parametrize("cores", CORE_COUNTS)
+def test_fig3_matmul(benchmark, cores):
+    """Figure 3 series 'Matmul': scalar matrix multiplication."""
+    config = SimulationConfig.for_cores(cores)
+    results = bench_coyote(
+        benchmark,
+        lambda: scalar_matmul(size=MATMUL_SIZE, num_cores=cores),
+        config, label=f"fig3-matmul-{cores}c")
+    print(f"\n[fig3][matmul] cores={cores:3d} "
+          f"host_mips={results.host_mips:.4f} "
+          f"instructions={results.instructions} cycles={results.cycles}")
+
+
+@pytest.mark.parametrize("cores", CORE_COUNTS)
+def test_fig3_spmv(benchmark, cores):
+    """Figure 3 series 'SpMV': scalar CSR sparse matrix-vector."""
+    config = SimulationConfig.for_cores(cores)
+    rows = SPMV_ROWS_PER_CORE * cores
+    results = bench_coyote(
+        benchmark,
+        lambda: scalar_spmv(num_rows=rows, nnz_per_row=SPMV_NNZ,
+                            num_cores=cores),
+        config, label=f"fig3-spmv-{cores}c")
+    print(f"\n[fig3][spmv]   cores={cores:3d} "
+          f"host_mips={results.host_mips:.4f} "
+          f"instructions={results.instructions} cycles={results.cycles}")

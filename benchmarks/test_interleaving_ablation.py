@@ -1,0 +1,50 @@
+"""Ablation: Spike's interleaving optimisation (paper §III-A analysis).
+
+The paper traces Figure 3's low-core-count bottleneck to *disabling*
+Spike's interleaving: "Interleaving speeds up simulation in the original
+Spike implementation by executing several instructions on the same core
+back to back, before switching to the next core."  Coyote must run with
+interleaving off (one instruction per core per cycle) to exercise the
+memory hierarchy correctly.
+
+This bench measures the raw functional ISS (no timing model) at
+different interleave batch sizes, quantifying what the lockstep
+requirement costs on our substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernels import scalar_spmv
+from repro.spike import SpikeSimulator
+
+CORES = 8
+ROWS_PER_CORE = 24
+
+
+@pytest.mark.parametrize("interleave", [1, 4, 16, 64, 256])
+def test_iss_interleaving(benchmark, interleave):
+    """Raw-ISS throughput vs interleave batch size."""
+    state = {}
+
+    def target():
+        workload = scalar_spmv(num_rows=ROWS_PER_CORE * CORES,
+                               nnz_per_row=8, num_cores=CORES)
+        simulator = SpikeSimulator(workload.program, num_cores=CORES,
+                                   interleave=interleave)
+        state["instructions"] = simulator.run()
+        assert workload.verify(simulator.machine.memory)
+
+    result = benchmark.pedantic(target, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    instructions = state["instructions"]
+    seconds = benchmark.stats.stats.mean
+    mips = instructions / seconds / 1e6 if seconds else 0.0
+    benchmark.extra_info.update({
+        "label": f"interleave-{interleave}",
+        "instructions": instructions,
+        "iss_mips": round(mips, 4),
+    })
+    print(f"\n[interleave] batch={interleave:4d} "
+          f"iss_mips={mips:.4f} instructions={instructions}")

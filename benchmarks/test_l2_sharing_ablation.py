@@ -1,0 +1,49 @@
+"""Ablation: fully-shared vs tile-private L2 (paper §III-A).
+
+"The L2 can be configured as fully-shared across the system or private
+to the cores of each tile."  On a 16-core / 2-tile system, shared mode
+gives each core 4 candidate banks (more capacity, more NoC sharing);
+private mode confines each tile's traffic to its own 2 banks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import (
+    dense_vector,
+    random_csr,
+    spmv_csr_gather_accum,
+    stream_triad,
+)
+
+CORES = 16
+
+
+@pytest.mark.parametrize("l2_mode", ["shared", "private"])
+def test_l2_sharing_spmv(benchmark, l2_mode):
+    """Gathering SpMV under each sharing mode."""
+    matrix = random_csr(96, 96, 8, seed=21)
+    x = dense_vector(96, seed=22)
+    config = SimulationConfig.for_cores(CORES, l2_mode=l2_mode)
+    results = bench_coyote(
+        benchmark,
+        lambda: spmv_csr_gather_accum(num_cores=CORES, matrix=matrix,
+                                      x=x),
+        config, label=f"l2-{l2_mode}-spmv")
+    print(f"\n[l2-mode][spmv]  {l2_mode:7s} cycles={results.cycles} "
+          f"banks={results.bank_utilisation()}")
+
+
+@pytest.mark.parametrize("l2_mode", ["shared", "private"])
+def test_l2_sharing_triad(benchmark, l2_mode):
+    """Dense streaming under each sharing mode."""
+    config = SimulationConfig.for_cores(CORES, l2_mode=l2_mode)
+    results = bench_coyote(
+        benchmark,
+        lambda: stream_triad(length=1024, num_cores=CORES),
+        config, label=f"l2-{l2_mode}-triad")
+    print(f"\n[l2-mode][triad] {l2_mode:7s} cycles={results.cycles} "
+          f"banks={results.bank_utilisation()}")

@@ -1,0 +1,55 @@
+"""Ablation (extension): an optional L3 between L2 and memory.
+
+§III-A: "Deeper memory hierarchies or more heterogeneous systems can
+currently be modelled".  This bench demonstrates the claim: a reuse-heavy
+workload whose working set exceeds the (shrunken) L2 but fits the L3
+gains from the extra level; a streaming workload with no reuse does not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import scalar_matmul, stream_triad
+from repro.spike.simulator import L1Config
+
+CORES = 4
+SMALL_L2 = 4096  # bytes per bank: force L2 capacity misses
+# Shrink the L1 too, so reuse actually reaches the L2/L3 levels.
+SMALL_L1 = L1Config(icache_bytes=2048, dcache_bytes=2048,
+                    associativity=4)
+
+
+@pytest.mark.parametrize("l3_enable", [False, True],
+                         ids=["l2-only", "l2+l3"])
+def test_l3_with_reuse(benchmark, l3_enable):
+    """Matmul re-reads B constantly: the L3 catches L2 capacity
+    misses."""
+    config = SimulationConfig.for_cores(
+        CORES, l2_bank_bytes=SMALL_L2, l3_enable=l3_enable,
+        l1=SMALL_L1)
+    results = bench_coyote(
+        benchmark,
+        lambda: scalar_matmul(size=32, num_cores=CORES),
+        config, label=f"l3-{l3_enable}-matmul")
+    reads = sum(sample.value for sample in results.hierarchy_samples
+                if sample.name == "reads" and ".mc" in sample.path)
+    print(f"\n[l3][matmul] l3={l3_enable!s:5s} cycles={results.cycles:7d} "
+          f"dram_reads={int(reads)}")
+
+
+@pytest.mark.parametrize("l3_enable", [False, True],
+                         ids=["l2-only", "l2+l3"])
+def test_l3_without_reuse(benchmark, l3_enable):
+    """Streaming has no reuse: the L3 can only add latency."""
+    config = SimulationConfig.for_cores(
+        CORES, l2_bank_bytes=SMALL_L2, l3_enable=l3_enable,
+        l1=SMALL_L1)
+    results = bench_coyote(
+        benchmark,
+        lambda: stream_triad(length=2048, num_cores=CORES),
+        config, label=f"l3-{l3_enable}-triad")
+    print(f"\n[l3][triad]  l3={l3_enable!s:5s} "
+          f"cycles={results.cycles:7d}")

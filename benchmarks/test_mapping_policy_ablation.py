@@ -1,0 +1,59 @@
+"""Ablation: address-to-bank data mapping policies (paper §III-A).
+
+"Two different well-known data mapping policies have been implemented
+... page-to-bank and set-interleaving."  A dense unit-stride sweep shows
+the policies' contrast most sharply: set-interleaving spreads consecutive
+lines over every bank while page-to-bank sends 64 consecutive lines to
+the same bank; sparse gathers land in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import (
+    dense_vector,
+    random_csr,
+    spmv_csr_gather_reduce,
+    stream_triad,
+)
+
+CORES = 8
+POLICIES = ["set-interleaving", "page-to-bank"]
+
+
+def imbalance(bank_requests: dict[str, int]) -> float:
+    counts = list(bank_requests.values())
+    total = sum(counts)
+    return max(counts) / (total / len(counts)) if total else 0.0
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_mapping_dense_stream(benchmark, policy):
+    config = SimulationConfig.for_cores(CORES, mapping_policy=policy)
+    results = bench_coyote(
+        benchmark,
+        lambda: stream_triad(length=2048, num_cores=CORES),
+        config, label=f"map-{policy}-triad")
+    benchmark.extra_info["bank_imbalance"] = round(
+        imbalance(results.bank_utilisation()), 3)
+    print(f"\n[mapping][triad] {policy:17s} cycles={results.cycles} "
+          f"imbalance={imbalance(results.bank_utilisation()):.2f}")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_mapping_sparse_gather(benchmark, policy):
+    matrix = random_csr(64, 64, 8, seed=31)
+    x = dense_vector(64, seed=32)
+    config = SimulationConfig.for_cores(CORES, mapping_policy=policy)
+    results = bench_coyote(
+        benchmark,
+        lambda: spmv_csr_gather_reduce(num_cores=CORES, matrix=matrix,
+                                       x=x),
+        config, label=f"map-{policy}-spmv")
+    benchmark.extra_info["bank_imbalance"] = round(
+        imbalance(results.bank_utilisation()), 3)
+    print(f"\n[mapping][spmv]  {policy:17s} cycles={results.cycles} "
+          f"imbalance={imbalance(results.bank_utilisation()):.2f}")

@@ -1,0 +1,60 @@
+"""Ablation (extension): MCPU-style vector request aggregation.
+
+ACME's MCPUs (paper §I-A) "operate on vectors, both dense (unit stride)
+and sparse with the help of vector index registers for scatter/gather
+operations" — the memory controller sees one vector-level request
+instead of per-line traffic.  With aggregation on, the misses of one
+vector instruction travel as a single NoC message handled at the
+controller; with it off (the paper's base Coyote model), each line is a
+separate L2 request.
+
+Long vectors (VLEN = 2048 -> 32 doubles, 4+ lines per unit-stride load,
+up to 32 lines per gather) make the difference visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import (
+    dense_vector,
+    random_csr,
+    spmv_csr_gather_accum,
+    stream_triad,
+)
+
+CORES = 8
+VLEN = 2048
+
+
+@pytest.mark.parametrize("aggregation", [False, True],
+                         ids=["per-line", "mcpu-aggregated"])
+def test_aggregation_dense_stream(benchmark, aggregation):
+    config = SimulationConfig.for_cores(CORES, vlen_bits=VLEN,
+                                        mcpu_aggregation=aggregation)
+    results = bench_coyote(
+        benchmark,
+        lambda: stream_triad(length=4096, num_cores=CORES),
+        config, label=f"mcpu-{aggregation}-triad")
+    noc = int(results.hierarchy_value("memhier.noc.messages"))
+    print(f"\n[mcpu][triad] aggregated={aggregation!s:5s} "
+          f"cycles={results.cycles:6d} noc_messages={noc}")
+
+
+@pytest.mark.parametrize("aggregation", [False, True],
+                         ids=["per-line", "mcpu-aggregated"])
+def test_aggregation_sparse_gather(benchmark, aggregation):
+    matrix = random_csr(128, 128, 24, seed=61)
+    x = dense_vector(128, seed=62)
+    config = SimulationConfig.for_cores(CORES, vlen_bits=VLEN,
+                                        mcpu_aggregation=aggregation)
+    results = bench_coyote(
+        benchmark,
+        lambda: spmv_csr_gather_accum(num_cores=CORES, matrix=matrix,
+                                      x=x),
+        config, label=f"mcpu-{aggregation}-spmv")
+    noc = int(results.hierarchy_value("memhier.noc.messages"))
+    print(f"\n[mcpu][spmv]  aggregated={aggregation!s:5s} "
+          f"cycles={results.cycles:6d} noc_messages={noc}")

@@ -1,0 +1,31 @@
+"""Ablation: maximum in-flight L2 misses per bank (paper §III-A).
+
+"the maximum number of in-flight misses" is one of the L2's input
+parameters.  A tiny MSHR file serialises misses behind the bank
+(back-pressure); growing it exposes memory-level parallelism until the
+memory channels saturate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import stream_triad
+
+CORES = 8
+
+
+@pytest.mark.parametrize("max_in_flight", [1, 2, 4, 8, 32])
+def test_mshr_sweep(benchmark, max_in_flight):
+    config = SimulationConfig.for_cores(
+        CORES, l2_max_in_flight=max_in_flight)
+    results = bench_coyote(
+        benchmark,
+        lambda: stream_triad(length=2048, num_cores=CORES),
+        config, label=f"mshr-{max_in_flight}")
+    stalls = results.hierarchy_value(
+        "memhier.tile0.bank0.mshr_stalls")
+    print(f"\n[mshr] max_in_flight={max_in_flight:3d} "
+          f"cycles={results.cycles} bank0_mshr_stalls={int(stalls)}")

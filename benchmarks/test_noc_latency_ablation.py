@@ -1,0 +1,42 @@
+"""Ablation: NoC model and latency (paper §III-A + future work).
+
+The paper models the NoC as "a highly idealized crossbar, that uses
+fixed, configurable latencies" and calls more realistic NoC modelling
+work in progress.  This bench sweeps the crossbar latency and also runs
+the mesh extension (XY routing, per-hop latency) for comparison.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import spmv_csr_gather_accum
+
+CORES = 8
+ROWS = 64
+
+
+@pytest.mark.parametrize("latency", [2, 6, 12, 24])
+def test_crossbar_latency_sweep(benchmark, latency):
+    config = SimulationConfig.for_cores(CORES, noc_kind="crossbar",
+                                        noc_latency=latency)
+    results = bench_coyote(
+        benchmark,
+        lambda: spmv_csr_gather_accum(num_rows=ROWS, nnz_per_row=8,
+                                      num_cores=CORES),
+        config, label=f"noc-crossbar-{latency}")
+    print(f"\n[noc] crossbar latency={latency:2d} "
+          f"cycles={results.cycles}")
+
+
+def test_mesh_extension(benchmark):
+    config = SimulationConfig.for_cores(CORES, noc_kind="mesh",
+                                        mesh_columns=4)
+    results = bench_coyote(
+        benchmark,
+        lambda: spmv_csr_gather_accum(num_rows=ROWS, nnz_per_row=8,
+                                      num_cores=CORES),
+        config, label="noc-mesh")
+    print(f"\n[noc] mesh (XY routing)    cycles={results.cycles}")

@@ -1,0 +1,45 @@
+"""Ablation (extension): memory-controller stream prefetching.
+
+Prefetching is one of the "different data management policies such as
+prefetching, streaming, etc." the paper lists as next steps.  Our
+memory controller implements a simple sequential stream prefetcher;
+a dense sweep should benefit, while random gathers should not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig
+from repro.kernels import (
+    dense_vector,
+    random_csr,
+    spmv_csr_gather_reduce,
+    stream_triad,
+)
+
+CORES = 8
+
+
+@pytest.mark.parametrize("depth", [0, 2, 4])
+def test_prefetch_dense_stream(benchmark, depth):
+    config = SimulationConfig.for_cores(CORES, prefetch_depth=depth)
+    results = bench_coyote(
+        benchmark,
+        lambda: stream_triad(length=2048, num_cores=CORES),
+        config, label=f"prefetch-{depth}-triad")
+    print(f"\n[prefetch][triad] depth={depth} cycles={results.cycles}")
+
+
+@pytest.mark.parametrize("depth", [0, 4])
+def test_prefetch_sparse_gather(benchmark, depth):
+    matrix = random_csr(64, 64, 8, seed=41)
+    x = dense_vector(64, seed=42)
+    config = SimulationConfig.for_cores(CORES, prefetch_depth=depth)
+    results = bench_coyote(
+        benchmark,
+        lambda: spmv_csr_gather_reduce(num_cores=CORES, matrix=matrix,
+                                       x=x),
+        config, label=f"prefetch-{depth}-spmv")
+    print(f"\n[prefetch][spmv]  depth={depth} cycles={results.cycles}")

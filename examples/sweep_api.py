@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""The design-space sweep API in one screen.
+
+Coyote's purpose is "the fast comparison of different designs"; the
+`Sweep` helper turns that into a declarative call: name the axes, give a
+workload, read the table.
+"""
+
+from repro.coyote import Sweep
+from repro.kernels import spmv_csr_gather_accum
+
+
+def main() -> None:
+    sweep = Sweep(
+        base_cores=16,
+        axes={
+            "l2_mode": ["shared", "private"],
+            "mapping_policy": ["set-interleaving", "page-to-bank"],
+            "noc_latency": [2, 12],
+        })
+    table = sweep.run(
+        lambda: spmv_csr_gather_accum(num_rows=64, nnz_per_row=8,
+                                      num_cores=16))
+
+    print(table.format(metrics=("cycles", "l1d_miss_rate",
+                                "raw_stall_cycles")))
+    best = table.best("cycles")
+    print()
+    print(f"best design point: {best.settings} "
+          f"({best.results.cycles} cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Coyote reproduction: an execution-driven RISC-V HPC simulator.
+
+This package reproduces "Coyote: An Open Source Simulation Tool to Enable
+RISC-V in HPC" (DATE 2021).  The headline API lives in :mod:`repro.coyote`.
+"""
+
+__version__ = "1.0.0"

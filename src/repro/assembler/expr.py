@@ -1,0 +1,145 @@
+"""A small expression evaluator for assembler operands.
+
+Supports integer literals (decimal, ``0x``, ``0b``, ``0o``, character
+constants), symbol references, unary ``+``/``-``/``~``, and binary
+``+ - * / % << >> & | ^`` with conventional precedence, plus parentheses.
+Symbols are resolved through a caller-provided mapping.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+
+class ExprError(Exception):
+    """Raised for malformed or unresolvable expressions."""
+
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<num>0[xX][0-9a-fA-F]+|0[bB][01]+|0[oO][0-7]+|\d+)
+      | (?P<char>'(?:[^'\\]|\\.)')
+      | (?P<sym>[A-Za-z_.$][\w.$]*)
+      | (?P<op><<|>>|[-+*/%&|^~()])
+    )""", re.VERBOSE)
+
+_BINARY_PRECEDENCE = {
+    "|": 1, "^": 2, "&": 3, "<<": 4, ">>": 4,
+    "+": 5, "-": 5, "*": 6, "/": 6, "%": 6,
+}
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.end() == position:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ExprError(f"bad token at {remainder!r} in {text!r}")
+        tokens.append(match.group().strip())
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str], symbols: Mapping[str, int]):
+        self._tokens = tokens
+        self._symbols = symbols
+        self._index = 0
+
+    def _peek(self) -> str | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise ExprError("unexpected end of expression")
+        self._index += 1
+        return token
+
+    def parse(self) -> int:
+        value = self._parse_binary(0)
+        if self._peek() is not None:
+            raise ExprError(f"trailing tokens: {self._tokens[self._index:]}")
+        return value
+
+    def _parse_binary(self, min_precedence: int) -> int:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            if token not in _BINARY_PRECEDENCE:
+                return left
+            precedence = _BINARY_PRECEDENCE[token]
+            if precedence < min_precedence:
+                return left
+            self._next()
+            right = self._parse_binary(precedence + 1)
+            left = self._apply(token, left, right)
+
+    def _apply(self, op: str, left: int, right: int) -> int:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExprError("division by zero")
+            return int(left / right) if (left < 0) != (right < 0) \
+                else left // right
+        if op == "%":
+            if right == 0:
+                raise ExprError("modulo by zero")
+            return left % right
+        if op == "<<":
+            return left << right
+        if op == ">>":
+            return left >> right
+        if op == "&":
+            return left & right
+        if op == "|":
+            return left | right
+        if op == "^":
+            return left ^ right
+        raise ExprError(f"unknown operator {op!r}")
+
+    def _parse_unary(self) -> int:
+        token = self._next()
+        if token == "-":
+            return -self._parse_unary()
+        if token == "+":
+            return self._parse_unary()
+        if token == "~":
+            return ~self._parse_unary()
+        if token == "(":
+            value = self._parse_binary(0)
+            closing = self._next()
+            if closing != ")":
+                raise ExprError(f"expected ')', got {closing!r}")
+            return value
+        if token.startswith("'"):
+            body = token[1:-1].encode().decode("unicode_escape")
+            if len(body) != 1:
+                raise ExprError(f"bad character constant {token!r}")
+            return ord(body)
+        if re.fullmatch(r"0[xX][0-9a-fA-F]+|0[bB][01]+|0[oO][0-7]+|\d+",
+                        token):
+            return int(token, 0)
+        if token in self._symbols:
+            return self._symbols[token]
+        raise ExprError(f"undefined symbol {token!r}")
+
+
+def evaluate(text: str, symbols: Mapping[str, int] | None = None) -> int:
+    """Evaluate an assembler expression to an integer."""
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ExprError("empty expression")
+    return _Parser(tokens, symbols or {}).parse()

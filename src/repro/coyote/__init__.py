@@ -1,0 +1,21 @@
+"""Coyote: the execution-driven simulator (orchestrator + public API)."""
+
+from repro.coyote.config import SimulationConfig
+from repro.coyote.orchestrator import Orchestrator, SimulationError
+from repro.coyote.simulation import Simulation
+from repro.coyote.stats import CoreStats, SimulationResults
+from repro.coyote.sweep import Sweep, SweepPoint, SweepTable
+from repro.coyote.trace import MissTraceRecorder
+
+__all__ = [
+    "CoreStats",
+    "MissTraceRecorder",
+    "Orchestrator",
+    "Simulation",
+    "SimulationConfig",
+    "SimulationError",
+    "SimulationResults",
+    "Sweep",
+    "SweepPoint",
+    "SweepTable",
+]

@@ -1,0 +1,110 @@
+"""Command-line front end: ``coyote-sim``.
+
+Run a named kernel under the full Coyote model and print the statistics
+the paper lists as simulation outputs.  Example::
+
+    coyote-sim --kernel scalar-spmv --cores 8 --l2-mode private \\
+               --mapping page-to-bank --trace /tmp/spmv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.coyote.config import SimulationConfig
+from repro.coyote.simulation import Simulation
+from repro.kernels import KERNELS
+from repro.memhier.mapping import policy_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coyote-sim",
+        description="Coyote (DATE 2021 reproduction): execution-driven "
+                    "RISC-V HPC simulation with a data-movement focus.")
+    parser.add_argument("--kernel", choices=sorted(KERNELS),
+                        default="scalar-spmv", help="workload to simulate")
+    parser.add_argument("--cores", type=int, default=8,
+                        help="number of simulated cores")
+    parser.add_argument("--size", type=int, default=None,
+                        help="problem size (kernel-specific default)")
+    parser.add_argument("--l2-mode", choices=("shared", "private"),
+                        default="shared", help="L2 sharing mode")
+    parser.add_argument("--mapping", choices=policy_names(),
+                        default="set-interleaving",
+                        help="address-to-bank mapping policy")
+    parser.add_argument("--noc", choices=("crossbar", "mesh"),
+                        default="crossbar", help="NoC model")
+    parser.add_argument("--noc-latency", type=int, default=6,
+                        help="crossbar NoC latency in cycles")
+    parser.add_argument("--mem-latency", type=int, default=100,
+                        help="memory access latency in cycles")
+    parser.add_argument("--vlen", type=int, default=512,
+                        help="vector register length in bits")
+    parser.add_argument("--trace", metavar="BASEPATH", default=None,
+                        help="write a Paraver .prv/.pcf/.row miss trace")
+    parser.add_argument("--hierarchy-stats", action="store_true",
+                        help="also print every modelled-hierarchy counter")
+    parser.add_argument("--config", metavar="JSON", default=None,
+                        help="load a full SimulationConfig from a JSON "
+                             "file (overrides the other config flags)")
+    parser.add_argument("--save-config", metavar="JSON", default=None,
+                        help="write the effective configuration to a "
+                             "JSON file and continue")
+    return parser
+
+
+def make_workload(kernel: str, cores: int, size: int | None):
+    """Instantiate a kernel with a sensible size argument."""
+    factory = KERNELS[kernel]
+    if size is None:
+        return factory(num_cores=cores)
+    if "matmul" in kernel:
+        return factory(size=size, num_cores=cores)
+    if "spmv" in kernel:
+        return factory(num_rows=size, num_cores=cores)
+    if kernel == "nn-dense-relu":
+        return factory(in_dim=size, out_dim=size, num_cores=cores)
+    if kernel == "mlp-inference":
+        return factory(dims=(size, size, size), num_cores=cores)
+    return factory(length=size, num_cores=cores)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.config is not None:
+        config = SimulationConfig.load(args.config)
+        if args.trace is not None:
+            config.trace_misses = True
+        cores = config.num_cores
+    else:
+        config = SimulationConfig.for_cores(
+            args.cores, l2_mode=args.l2_mode,
+            mapping_policy=args.mapping, noc_kind=args.noc,
+            noc_latency=args.noc_latency, mem_latency=args.mem_latency,
+            vlen_bits=args.vlen, trace_misses=args.trace is not None)
+        cores = args.cores
+    if args.save_config is not None:
+        config.save(args.save_config)
+    workload = make_workload(args.kernel, cores, args.size)
+
+    simulation = Simulation(config, workload.program)
+    results = simulation.run()
+
+    print(f"kernel               : {workload.name}")
+    print(f"cores                : {cores}")
+    print(results.summary())
+    verified = workload.verify(simulation.memory)
+    print(f"output verified      : {verified}")
+    if args.hierarchy_stats:
+        print("\n-- modelled hierarchy --")
+        print(results.hierarchy_report())
+    if args.trace is not None:
+        prv, pcf = simulation.write_trace(args.trace)
+        print(f"trace written        : {prv} / {pcf}")
+    return 0 if verified and results.succeeded() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,118 @@
+"""Top-level simulation configuration.
+
+Composes the functional-side parameters (cores, VLEN, L1 geometry) with
+the modelled-hierarchy parameters (:class:`~repro.memhier.hierarchy.
+MemHierConfig`).  ``SimulationConfig.for_cores(n)`` builds the paper-style
+tiled layout: VAS tiles of eight cores, two L2 banks per tile.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+
+from repro.memhier.hierarchy import MemHierConfig
+from repro.spike.simulator import L1Config
+from repro.utils.bitops import is_power_of_two
+
+DEFAULT_CORES_PER_TILE = 8   # one VAS tile holds eight cores (paper §I-A)
+DEFAULT_BANKS_PER_TILE = 2
+
+
+@dataclass
+class SimulationConfig:
+    """Everything needed to build a Coyote simulation."""
+
+    memhier: MemHierConfig = field(default_factory=MemHierConfig)
+    l1: L1Config = field(default_factory=L1Config)
+    vlen_bits: int = 512
+    max_cycles: int = 200_000_000
+    trace_misses: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    @property
+    def num_cores(self) -> int:
+        return self.memhier.num_cores
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings."""
+        self.memhier.validate()
+        if self.vlen_bits % 64 or self.vlen_bits < 64:
+            raise ValueError(f"VLEN must be a positive multiple of 64, "
+                             f"got {self.vlen_bits}")
+        if self.l1.line_bytes != self.memhier.line_bytes:
+            raise ValueError(
+                f"L1 and L2 line sizes must match "
+                f"({self.l1.line_bytes} != {self.memhier.line_bytes})")
+        if self.max_cycles < 1:
+            raise ValueError("max_cycles must be positive")
+
+    @classmethod
+    def for_cores(cls, num_cores: int, **overrides) -> "SimulationConfig":
+        """Build the default tiled layout for ``num_cores`` cores.
+
+        Core counts of eight and above use full tiles of
+        ``DEFAULT_CORES_PER_TILE`` cores; smaller (power-of-two) counts use
+        a single partial tile.  Keyword overrides are applied to the
+        :class:`MemHierConfig` (for its field names) or to the
+        ``SimulationConfig`` itself.
+        """
+        if num_cores < 1:
+            raise ValueError(f"need at least one core, got {num_cores}")
+        if num_cores >= DEFAULT_CORES_PER_TILE:
+            if num_cores % DEFAULT_CORES_PER_TILE:
+                raise ValueError(
+                    f"{num_cores} cores is not a whole number of "
+                    f"{DEFAULT_CORES_PER_TILE}-core tiles")
+            num_tiles = num_cores // DEFAULT_CORES_PER_TILE
+            if not is_power_of_two(num_tiles):
+                raise ValueError(f"tile count must be a power of two, "
+                                 f"got {num_tiles}")
+            memhier = MemHierConfig(num_tiles=num_tiles,
+                                    cores_per_tile=DEFAULT_CORES_PER_TILE,
+                                    banks_per_tile=DEFAULT_BANKS_PER_TILE)
+        else:
+            memhier = MemHierConfig(num_tiles=1, cores_per_tile=num_cores,
+                                    banks_per_tile=DEFAULT_BANKS_PER_TILE)
+        memhier_fields = set(MemHierConfig.__dataclass_fields__)
+        memhier_overrides = {key: value for key, value in overrides.items()
+                             if key in memhier_fields}
+        config_overrides = {key: value for key, value in overrides.items()
+                            if key not in memhier_fields}
+        memhier = replace(memhier, **memhier_overrides)
+        return cls(memhier=memhier, **config_overrides)
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serialisable view of the full configuration."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationConfig":
+        """Rebuild a configuration from :meth:`to_dict` output.
+
+        Unknown keys raise, so stale config files fail loudly.
+        """
+        data = dict(data)
+        memhier = MemHierConfig(**data.pop("memhier", {}))
+        l1 = L1Config(**data.pop("l1", {}))
+        known = set(cls.__dataclass_fields__) - {"memhier", "l1"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown config keys: {sorted(unknown)}")
+        return cls(memhier=memhier, l1=l1, **data)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the configuration as JSON."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "SimulationConfig":
+        """Read a configuration written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))

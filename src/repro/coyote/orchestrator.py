@@ -1,0 +1,294 @@
+"""The Coyote Orchestrator: lockstep coupling of Spike and Sparta.
+
+Faithful to the paper's description:
+
+    "Spike and Sparta are slaves to an Orchestrator that handles the
+    simulation, keeping track of timing, and synchronizing both parts.
+    Every cycle, the Orchestrator first tries to simulate an instruction
+    on each of the active cores using Spike. [...] Once an instruction has
+    been simulated in each of the active cores, the Orchestrator checks,
+    if Sparta has any in-flight events for the current cycle. If this is
+    the case, the Sparta model is advanced [...] Once an L1 miss is
+    serviced, the registers that it writes to are made available [...]
+    while stalled cores are set as active once again."
+
+Two stall reasons deactivate a core: a RAW dependency against a pending
+miss (re-checked each cycle via the scoreboard) and an instruction-fetch
+miss (the core waits for that specific fill).  When every live core is
+stalled the orchestrator fast-forwards the clock to the next scheduled
+event — a pure optimisation with identical observable behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.assembler.program import Program
+from repro.coyote.config import SimulationConfig
+from repro.coyote.stats import CoreStats, SimulationResults
+from repro.memhier.hierarchy import MemoryHierarchy
+from repro.memhier.request import MemRequest, RequestKind
+from repro.spike.hart import EnvironmentCall, Trap
+from repro.spike.machine import BareMetalMachine
+from repro.spike.scoreboard import Scoreboard
+from repro.spike.simulator import AccessKind, CoreModel, StepStatus
+from repro.sparta.scheduler import Scheduler
+
+
+class SimulationError(Exception):
+    """Raised when a simulation cannot make progress or a core traps."""
+
+
+_KIND_MAP = {
+    AccessKind.IFETCH: RequestKind.IFETCH,
+    AccessKind.LOAD: RequestKind.LOAD,
+    AccessKind.STORE: RequestKind.STORE,
+    AccessKind.WRITEBACK: RequestKind.WRITEBACK,
+}
+
+
+@dataclass
+class _CoreState:
+    """Orchestrator-side bookkeeping for one core."""
+
+    raw_stall_cycles: int = 0
+    fetch_stall_cycles: int = 0
+    waiting_fetch_id: int | None = None
+    halt_cycle: int | None = None
+    stall_start: int = 0  # cycle the current stall began (if stalled)
+
+
+class Orchestrator:
+    """Drives the cycle loop over the functional cores and the modelled
+    hierarchy."""
+
+    def __init__(self, config: SimulationConfig, program: Program):
+        self.config = config
+        self.program = program
+        self.scheduler = Scheduler()
+        self.machine = BareMetalMachine(program, config.num_cores,
+                                        vlen_bits=config.vlen_bits)
+        self.cores = [CoreModel(hart, self.machine, config.l1)
+                      for hart in self.machine.harts]
+        for hart in self.machine.harts:
+            hart.cycle_source = lambda: self.scheduler.current_cycle
+        self.hierarchy = MemoryHierarchy(config.memhier, self.scheduler)
+        self.hierarchy.on_complete = self._on_request_complete
+        self.scoreboard = Scoreboard(config.num_cores)
+        self._states = [_CoreState() for _ in range(config.num_cores)]
+        self._fetch_waits: dict[int, int] = {}  # request_id -> core_id
+        # Cores ready to attempt execution; stalled cores leave this set
+        # and are re-inserted by the completion that might unblock them
+        # (event-driven wakeup: a stalled core costs nothing per cycle).
+        self._active: set[int] = set(range(config.num_cores))
+        self._raw_waiting: set[int] = set()
+        # cycles spent with exactly N active cores (N = 0 during
+        # fast-forwarded stall periods).
+        self._activity: dict[int, int] = {}
+
+    # -- completion plumbing ---------------------------------------------------
+
+    def _on_request_complete(self, request: MemRequest) -> None:
+        if request.member_ids:
+            # MCPU-aggregated vector request: one response releases every
+            # member scoreboard entry.
+            for member_id in request.member_ids:
+                self.scoreboard.complete_miss(member_id)
+            core_id = request.core_id
+        else:
+            core_id = self.scoreboard.complete_miss(request.request_id)
+        now = self.scheduler.current_cycle
+        state = self._states[core_id]
+        waiting_core = self._fetch_waits.pop(request.request_id, None)
+        if waiting_core is not None:
+            wait_state = self._states[waiting_core]
+            wait_state.waiting_fetch_id = None
+            wait_state.fetch_stall_cycles += now - wait_state.stall_start
+            self._wake(waiting_core)
+        elif core_id in self._raw_waiting:
+            # One of this core's fills returned; let it retry its RAW
+            # check on its next turn (it re-stalls if still blocked).
+            self._raw_waiting.discard(core_id)
+            state.raw_stall_cycles += now - state.stall_start
+            self.cores[core_id].raw_stalls += now - state.stall_start
+            self._wake(core_id)
+
+    def _wake(self, core_id: int) -> None:
+        if not self.cores[core_id].halted:
+            self._active.add(core_id)
+
+    def _submit_misses(self, core_id: int, misses) -> int | None:
+        """Send one step's misses into the hierarchy.
+
+        Returns the request id of the IFETCH miss when present (the core
+        must stall on it).
+        """
+        fetch_id = None
+        aggregate: list = []
+        aggregating = self.config.memhier.mcpu_aggregation
+        for miss in misses:
+            if miss.kind is AccessKind.WRITEBACK:
+                # Fire-and-forget: no completion will arrive.
+                self.hierarchy.submit(-1, core_id, miss.line_address,
+                                      RequestKind.WRITEBACK)
+                continue
+            if aggregating and miss.kind is AccessKind.LOAD:
+                aggregate.append(miss)
+                continue
+            registers = miss.registers if miss.kind is AccessKind.LOAD \
+                else ()
+            miss_id = self.scoreboard.register_miss(core_id, registers)
+            self.hierarchy.submit(miss_id, core_id, miss.line_address,
+                                  _KIND_MAP[miss.kind])
+            if miss.kind is AccessKind.IFETCH:
+                fetch_id = miss_id
+        if aggregate:
+            self._submit_aggregate(core_id, aggregate)
+        return fetch_id
+
+    def _submit_aggregate(self, core_id: int, misses: list) -> None:
+        """Send one instruction's load misses as an MCPU group
+        (or singly when there is no group to form)."""
+        if len(misses) == 1:
+            miss = misses[0]
+            miss_id = self.scoreboard.register_miss(core_id,
+                                                    miss.registers)
+            self.hierarchy.submit(miss_id, core_id, miss.line_address,
+                                  RequestKind.LOAD)
+            return
+        member_ids = []
+        lines = []
+        for miss in misses:
+            member_ids.append(
+                self.scoreboard.register_miss(core_id, miss.registers))
+            lines.append(miss.line_address)
+        self.hierarchy.submit_aggregate(tuple(member_ids), core_id,
+                                        lines, RequestKind.LOAD)
+
+    # -- the cycle loop -----------------------------------------------------------
+
+    def run(self) -> SimulationResults:
+        """Run to completion and return the results."""
+        config = self.config
+        scheduler = self.scheduler
+        cores = self.cores
+        states = self._states
+        scoreboard = self.scoreboard
+        active = self._active
+        start_wall = time.perf_counter()
+        remaining_cores = config.num_cores
+        total_instructions = 0
+
+        while remaining_cores:
+            if scheduler.current_cycle >= config.max_cycles:
+                raise SimulationError(
+                    f"cycle budget exhausted ({config.max_cycles})")
+
+            if not active:
+                # Every live core is stalled: jump to the next event (an
+                # identical-behaviour fast-forward — only completions can
+                # wake anyone).
+                next_event = scheduler.next_event_cycle()
+                if next_event is None:
+                    stalled = [core.core_id for core in cores
+                               if not core.halted]
+                    raise SimulationError(
+                        f"deadlock at cycle {scheduler.current_cycle}: "
+                        f"cores {stalled} stalled with no pending events")
+                skipped = next_event - scheduler.current_cycle + 1
+                self._activity[0] = self._activity.get(0, 0) + skipped
+                scheduler.advance_to(next_event)
+                scheduler.advance_cycle()
+                continue
+
+            active_now = len(active)
+            self._activity[active_now] = \
+                self._activity.get(active_now, 0) + 1
+
+            for core_id in sorted(active):
+                core = cores[core_id]
+                state = states[core_id]
+
+                # RAW check against pending misses (paper: the core is
+                # inactive until the dependency is satisfied).
+                try:
+                    registers = core.peek_registers()
+                except Trap as exc:
+                    raise SimulationError(
+                        f"core {core_id}: {exc}") from exc
+                if scoreboard.blocks(core_id, registers):
+                    active.discard(core_id)
+                    self._raw_waiting.add(core_id)
+                    state.stall_start = scheduler.current_cycle
+                    continue
+
+                try:
+                    outcome = core.step()
+                except EnvironmentCall:
+                    # Bare-metal convention: ecall halts the calling hart
+                    # with exit code a0.
+                    self.machine.exit_codes[core_id] = core.hart.regs[10]
+                    core.halted = True
+                    outcome = None
+                except Trap as exc:
+                    raise SimulationError(
+                        f"core {core_id}: {exc}") from exc
+
+                if outcome is not None:
+                    if outcome.status is StepStatus.EXECUTED:
+                        total_instructions += 1
+                        self._submit_misses(core_id, outcome.misses)
+                    elif outcome.status is StepStatus.FETCH_MISS:
+                        fetch_id = self._submit_misses(core_id,
+                                                       outcome.misses)
+                        state.waiting_fetch_id = fetch_id
+                        state.stall_start = scheduler.current_cycle
+                        self._fetch_waits[fetch_id] = core_id
+                        active.discard(core_id)
+
+                if core.halted:
+                    state.halt_cycle = scheduler.current_cycle
+                    active.discard(core_id)
+                    remaining_cores -= 1
+
+            # Advance Sparta in sync with functional execution;
+            # completions fired here re-activate stalled cores.
+            scheduler.advance_cycle()
+
+        # Drain requests still in flight when the last core halted, so
+        # the final statistics balance (submitted == completed).
+        drain_start = scheduler.current_cycle
+        scheduler.run_until_idle()
+        drained = scheduler.current_cycle - drain_start
+        if drained:
+            self._activity[0] = self._activity.get(0, 0) + drained
+
+        wall_seconds = time.perf_counter() - start_wall
+        return self._build_results(total_instructions, wall_seconds)
+
+    # -- results ---------------------------------------------------------------
+
+    def _build_results(self, total_instructions: int,
+                       wall_seconds: float) -> SimulationResults:
+        core_stats = []
+        for core, state in zip(self.cores, self._states):
+            core_stats.append(CoreStats(
+                core_id=core.core_id,
+                instructions=core.instructions,
+                raw_stall_cycles=state.raw_stall_cycles,
+                fetch_stall_cycles=state.fetch_stall_cycles,
+                halt_cycle=state.halt_cycle,
+                exit_code=self.machine.exit_codes.get(core.core_id),
+                l1i=core.l1i.stats,
+                l1d=core.l1d.stats))
+        return SimulationResults(
+            cycles=self.scheduler.current_cycle,
+            instructions=total_instructions,
+            wall_seconds=wall_seconds,
+            cores=core_stats,
+            hierarchy_samples=self.hierarchy.collect_stats(),
+            console=self.machine.console_text(),
+            exit_codes=dict(self.machine.exit_codes),
+            events_fired=self.scheduler.events_fired,
+            activity=dict(sorted(self._activity.items())))

@@ -1,0 +1,60 @@
+"""The public simulation facade.
+
+>>> from repro.coyote import Simulation, SimulationConfig
+>>> from repro.kernels import scalar_matmul
+>>> config = SimulationConfig.for_cores(4)
+>>> workload = scalar_matmul(size=8, num_cores=4)
+>>> results = Simulation(config, workload.program).run()
+>>> results.succeeded()
+True
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.assembler.program import Program
+from repro.coyote.config import SimulationConfig
+from repro.coyote.orchestrator import Orchestrator, SimulationError
+from repro.coyote.stats import SimulationResults
+from repro.coyote.trace import MissTraceRecorder
+
+
+class Simulation:
+    """One configured Coyote simulation of one program."""
+
+    def __init__(self, config: SimulationConfig, program: Program):
+        self.config = config
+        self.program = program
+        self.orchestrator = Orchestrator(config, program)
+        self.trace: MissTraceRecorder | None = None
+        if config.trace_misses:
+            self.trace = MissTraceRecorder()
+            self.orchestrator.hierarchy.trace_sink = self.trace
+        self._results: SimulationResults | None = None
+
+    def run(self) -> SimulationResults:
+        """Run to completion (idempotent; re-runs return cached results)."""
+        if self._results is None:
+            self._results = self.orchestrator.run()
+        return self._results
+
+    @property
+    def results(self) -> SimulationResults:
+        if self._results is None:
+            raise SimulationError("simulation has not been run")
+        return self._results
+
+    @property
+    def memory(self):
+        """The shared functional memory (for checking kernel outputs)."""
+        return self.orchestrator.machine.memory
+
+    def write_trace(self, basepath: str | Path) -> tuple[Path, Path]:
+        """Write the recorded miss trace as Paraver ``.prv``/``.pcf``."""
+        if self.trace is None:
+            raise SimulationError(
+                "tracing was not enabled (SimulationConfig.trace_misses)")
+        results = self.results
+        return self.trace.write(basepath, self.config.num_cores,
+                                results.cycles)

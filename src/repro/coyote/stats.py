@@ -1,0 +1,146 @@
+"""Simulation outputs: statistics, summaries, derived metrics.
+
+Matches the paper's list of outputs: "statistics about memory accesses
+(miss rates, number of stalls due to dependencies, etc.), the execution
+time of the simulated application and a trace of L1 misses".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.spike.l1cache import L1Stats
+from repro.sparta.statistics import StatSample, format_report
+
+
+@dataclass
+class CoreStats:
+    """Per-core outcome of a simulation."""
+
+    core_id: int
+    instructions: int
+    raw_stall_cycles: int
+    fetch_stall_cycles: int
+    halt_cycle: int | None
+    exit_code: int | None
+    l1i: L1Stats
+    l1d: L1Stats
+
+
+@dataclass
+class SimulationResults:
+    """Everything a Coyote run produces."""
+
+    cycles: int
+    instructions: int
+    wall_seconds: float
+    cores: list[CoreStats]
+    hierarchy_samples: list[StatSample]
+    console: str
+    exit_codes: dict[int, int]
+    events_fired: int = 0
+    # cycles spent with exactly N cores actively issuing (N = 0 while
+    # every live core was stalled on the memory system).
+    activity: dict[int, int] | None = None
+
+    # -- derived metrics -----------------------------------------------------
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+    @property
+    def host_mips(self) -> float:
+        """Aggregate simulation throughput in MIPS (the Figure 3 metric)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.instructions / self.wall_seconds / 1e6
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate simulated instructions per simulated cycle."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def raw_stall_cycles(self) -> int:
+        return sum(core.raw_stall_cycles for core in self.cores)
+
+    @property
+    def fetch_stall_cycles(self) -> int:
+        return sum(core.fetch_stall_cycles for core in self.cores)
+
+    def l1d_miss_rate(self) -> float:
+        """Aggregate L1D miss rate across all cores."""
+        accesses = sum(core.l1d.accesses for core in self.cores)
+        misses = sum(core.l1d.misses for core in self.cores)
+        return misses / accesses if accesses else 0.0
+
+    def l1i_miss_rate(self) -> float:
+        """Aggregate L1I miss rate across all cores."""
+        accesses = sum(core.l1i.accesses for core in self.cores)
+        misses = sum(core.l1i.misses for core in self.cores)
+        return misses / accesses if accesses else 0.0
+
+    def hierarchy_value(self, full_name: str) -> float:
+        """Look up one hierarchy statistic by full dotted name."""
+        for sample in self.hierarchy_samples:
+            if sample.full_name == full_name:
+                return sample.value
+        raise KeyError(full_name)
+
+    def bank_utilisation(self) -> dict[str, int]:
+        """Requests received per L2 bank (for load-balance analysis)."""
+        result = {}
+        for sample in self.hierarchy_samples:
+            if sample.name == "requests" and ".bank" in sample.path:
+                result[sample.path.rsplit(".", 1)[-1]] = int(sample.value)
+        return result
+
+    def succeeded(self) -> bool:
+        """True when every core exited with code 0."""
+        return (len(self.exit_codes) == self.num_cores
+                and all(code == 0 for code in self.exit_codes.values()))
+
+    def average_active_cores(self) -> float:
+        """Mean number of cores issuing per cycle (0 = all stalled)."""
+        if not self.activity:
+            return 0.0
+        total_cycles = sum(self.activity.values())
+        if not total_cycles:
+            return 0.0
+        weighted = sum(count * cycles
+                       for count, cycles in self.activity.items())
+        return weighted / total_cycles
+
+    def stalled_fraction(self) -> float:
+        """Fraction of cycles in which no core could issue."""
+        if not self.activity:
+            return 0.0
+        total_cycles = sum(self.activity.values())
+        if not total_cycles:
+            return 0.0
+        return self.activity.get(0, 0) / total_cycles
+
+    # -- reporting -------------------------------------------------------------
+
+    def summary(self) -> str:
+        """A human-readable run summary."""
+        lines = [
+            f"cycles               : {self.cycles}",
+            f"instructions         : {self.instructions}",
+            f"aggregate IPC        : {self.ipc:.3f}",
+            f"host throughput      : {self.host_mips:.3f} MIPS",
+            f"wall time            : {self.wall_seconds:.3f} s",
+            f"L1D miss rate        : {self.l1d_miss_rate():.4%}",
+            f"L1I miss rate        : {self.l1i_miss_rate():.4%}",
+            f"RAW stall cycles     : {self.raw_stall_cycles}",
+            f"fetch stall cycles   : {self.fetch_stall_cycles}",
+            f"avg active cores     : {self.average_active_cores():.2f}",
+            f"fully-stalled cycles : {self.stalled_fraction():.2%}",
+            f"exit codes           : {self.exit_codes}",
+        ]
+        return "\n".join(lines)
+
+    def hierarchy_report(self) -> str:
+        """Formatted table of every modelled-hierarchy statistic."""
+        return format_report(self.hierarchy_samples)

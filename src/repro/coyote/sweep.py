@@ -1,0 +1,111 @@
+"""Design-space sweep utilities.
+
+Coyote exists for "the fast comparison of different designs"; this module
+makes that a one-call API: declare the axes (any
+:class:`~repro.coyote.config.SimulationConfig` / ``MemHierConfig``
+fields), a workload factory, and get back a tidy result table.
+
+>>> from repro.coyote.sweep import Sweep
+>>> from repro.kernels import scalar_spmv
+>>> sweep = Sweep(base_cores=8,
+...               axes={"l2_mode": ["shared", "private"],
+...                     "mapping_policy": ["set-interleaving",
+...                                        "page-to-bank"]})
+>>> table = sweep.run(lambda: scalar_spmv(num_rows=32, num_cores=8))
+>>> len(table.points)
+4
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.coyote.config import SimulationConfig
+from repro.coyote.simulation import Simulation
+from repro.coyote.stats import SimulationResults
+
+
+@dataclass
+class SweepPoint:
+    """One configuration point and its outcome."""
+
+    settings: dict[str, Any]
+    results: SimulationResults
+    verified: bool
+
+    def metric(self, name: str) -> float:
+        """Fetch a named metric (attribute or zero-arg method)."""
+        value = getattr(self.results, name)
+        return value() if callable(value) else value
+
+
+@dataclass
+class SweepTable:
+    """The full outcome of a sweep."""
+
+    axes: dict[str, list]
+    points: list[SweepPoint] = field(default_factory=list)
+
+    def best(self, metric: str = "cycles",
+             minimise: bool = True) -> SweepPoint:
+        """The best point under ``metric``."""
+        if not self.points:
+            raise ValueError("empty sweep")
+        chooser = min if minimise else max
+        return chooser(self.points, key=lambda point: point.metric(metric))
+
+    def format(self, metrics: tuple[str, ...] = ("cycles",)) -> str:
+        """Render an aligned text table."""
+        axis_names = list(self.axes)
+        headers = axis_names + list(metrics)
+        rows = []
+        for point in self.points:
+            row = [str(point.settings[name]) for name in axis_names]
+            for metric in metrics:
+                value = point.metric(metric)
+                row.append(f"{value:.4g}" if isinstance(value, float)
+                           else str(value))
+            rows.append(row)
+        widths = [max(len(header), *(len(row[i]) for row in rows))
+                  for i, header in enumerate(headers)]
+        lines = ["  ".join(header.ljust(width)
+                           for header, width in zip(headers, widths))]
+        lines.append("  ".join("-" * width for width in widths))
+        for row in rows:
+            lines.append("  ".join(cell.ljust(width)
+                                   for cell, width in zip(row, widths)))
+        return "\n".join(lines)
+
+
+class Sweep:
+    """A cartesian design-space sweep over configuration axes."""
+
+    def __init__(self, base_cores: int, axes: dict[str, list],
+                 **base_overrides):
+        if not axes:
+            raise ValueError("a sweep needs at least one axis")
+        self.base_cores = base_cores
+        self.axes = dict(axes)
+        self.base_overrides = base_overrides
+
+    def run(self, make_workload: Callable, *,
+            require_verified: bool = True) -> SweepTable:
+        """Run every point; ``make_workload`` is called per point."""
+        table = SweepTable(axes=self.axes)
+        names = list(self.axes)
+        for values in itertools.product(*self.axes.values()):
+            settings = dict(zip(names, values))
+            config = SimulationConfig.for_cores(
+                self.base_cores, **{**self.base_overrides, **settings})
+            workload = make_workload()
+            simulation = Simulation(config, workload.program)
+            results = simulation.run()
+            verified = workload.verify(simulation.memory)
+            if require_verified and not (verified
+                                         and results.succeeded()):
+                raise RuntimeError(
+                    f"sweep point {settings} failed verification")
+            table.points.append(SweepPoint(settings, results, verified))
+        return table

@@ -1,0 +1,49 @@
+"""L1-miss trace recording for a Coyote run.
+
+Hooks :attr:`MemoryHierarchy.trace_sink` and converts completed requests
+into :class:`~repro.paraver.records.MissRecord` entries, which can be
+analysed in-memory or written out as a Paraver trace.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.memhier.request import MemRequest, RequestKind
+from repro.paraver.records import MissKind, MissRecord
+from repro.paraver.writer import write_trace
+
+_KIND_MAP = {
+    RequestKind.LOAD: MissKind.LOAD,
+    RequestKind.STORE: MissKind.STORE,
+    RequestKind.IFETCH: MissKind.IFETCH,
+}
+
+
+class MissTraceRecorder:
+    """Collects every serviced L1 miss of a simulation."""
+
+    def __init__(self):
+        self.records: list[MissRecord] = []
+
+    def __call__(self, request: MemRequest) -> None:
+        """The hierarchy's ``trace_sink`` entry point."""
+        kind = _KIND_MAP.get(request.kind)
+        if kind is None:
+            return
+        self.records.append(MissRecord(
+            core_id=request.core_id,
+            issue_cycle=request.issue_cycle,
+            complete_cycle=request.complete_cycle,
+            line_address=request.line_address,
+            kind=kind,
+            bank_id=request.bank_id,
+            l2_hit=bool(request.l2_hit)))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def write(self, basepath: str | Path, num_cores: int,
+              duration: int) -> tuple[Path, Path]:
+        """Write the recorded trace as ``.prv`` + ``.pcf`` files."""
+        return write_trace(basepath, self.records, num_cores, duration)

@@ -1,0 +1,6 @@
+"""RISC-V ISA layer: encodings, decoder, registers, CSRs, vector types."""
+
+from repro.isa.decoder import IllegalInstruction, Instruction, decode
+from repro.isa.vtype import VType
+
+__all__ = ["IllegalInstruction", "Instruction", "VType", "decode"]

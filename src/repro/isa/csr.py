@@ -1,0 +1,91 @@
+"""Control and Status Register (CSR) addresses used by the simulator.
+
+Only the CSRs exercised by bare-metal HPC kernels and the RVV extension are
+defined; the hart raises an illegal-instruction trap for anything else.
+"""
+
+from __future__ import annotations
+
+# Unprivileged counters.
+CYCLE = 0xC00
+TIME = 0xC01
+INSTRET = 0xC02
+
+# Vector extension CSRs.
+VSTART = 0x008
+VXSAT = 0x009
+VXRM = 0x00A
+VCSR = 0x00F
+VL = 0xC20
+VTYPE = 0xC21
+VLENB = 0xC22
+
+# FP CSRs.
+FFLAGS = 0x001
+FRM = 0x002
+FCSR = 0x003
+
+# Machine information / trap handling (bare-metal mode).
+MSTATUS = 0x300
+MISA = 0x301
+MIE = 0x304
+MTVEC = 0x305
+MSCRATCH = 0x340
+MEPC = 0x341
+MCAUSE = 0x342
+MTVAL = 0x343
+MIP = 0x344
+MHARTID = 0xF14
+MCYCLE = 0xB00
+MINSTRET = 0xB02
+
+_NAMES = {
+    CYCLE: "cycle",
+    TIME: "time",
+    INSTRET: "instret",
+    VSTART: "vstart",
+    VXSAT: "vxsat",
+    VXRM: "vxrm",
+    VCSR: "vcsr",
+    VL: "vl",
+    VTYPE: "vtype",
+    VLENB: "vlenb",
+    FFLAGS: "fflags",
+    FRM: "frm",
+    FCSR: "fcsr",
+    MSTATUS: "mstatus",
+    MISA: "misa",
+    MIE: "mie",
+    MTVEC: "mtvec",
+    MSCRATCH: "mscratch",
+    MEPC: "mepc",
+    MCAUSE: "mcause",
+    MTVAL: "mtval",
+    MIP: "mip",
+    MHARTID: "mhartid",
+    MCYCLE: "mcycle",
+    MINSTRET: "minstret",
+}
+
+CSR_BY_NAME = {name: addr for addr, name in _NAMES.items()}
+
+READ_ONLY_CSRS = frozenset({CYCLE, TIME, INSTRET, VL, VTYPE, VLENB, MHARTID})
+
+
+def csr_name(address: int) -> str:
+    """Human-readable name for a CSR address (hex string if unknown)."""
+    return _NAMES.get(address, f"csr{address:#x}")
+
+
+def parse_csr(token: str) -> int:
+    """Map a CSR spelling (name or numeric literal) to its address."""
+    lowered = token.lower()
+    if lowered in CSR_BY_NAME:
+        return CSR_BY_NAME[lowered]
+    try:
+        value = int(token, 0)
+    except ValueError:
+        raise ValueError(f"unknown CSR {token!r}") from None
+    if not 0 <= value < 4096:
+        raise ValueError(f"CSR address out of range: {token!r}")
+    return value

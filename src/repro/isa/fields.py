@@ -1,0 +1,287 @@
+"""Raw RISC-V instruction word field packing and extraction.
+
+Implements the base instruction formats (R/I/S/B/U/J) plus the field layouts
+used by the vector extension (OP-V arithmetic and vector loads/stores).
+All functions operate on 32-bit little-endian instruction words held as
+unsigned Python ints.
+"""
+
+from __future__ import annotations
+
+from repro.utils.bitops import bit, bits, mask, sign_extend
+
+INSTRUCTION_BYTES = 4
+
+
+# ---------------------------------------------------------------------------
+# Field extraction
+# ---------------------------------------------------------------------------
+
+def opcode(word: int) -> int:
+    """Major opcode, bits [6:0]."""
+    return bits(word, 6, 0)
+
+
+def rd(word: int) -> int:
+    return bits(word, 11, 7)
+
+
+def rs1(word: int) -> int:
+    return bits(word, 19, 15)
+
+
+def rs2(word: int) -> int:
+    return bits(word, 24, 20)
+
+
+def rs3(word: int) -> int:
+    """Third source register of R4-format FMA instructions, bits [31:27]."""
+    return bits(word, 31, 27)
+
+
+def funct3(word: int) -> int:
+    return bits(word, 14, 12)
+
+
+def funct7(word: int) -> int:
+    return bits(word, 31, 25)
+
+
+def imm_i(word: int) -> int:
+    """Sign-extended 12-bit I-type immediate."""
+    return sign_extend(bits(word, 31, 20), 12)
+
+
+def imm_s(word: int) -> int:
+    """Sign-extended 12-bit S-type immediate."""
+    raw = (bits(word, 31, 25) << 5) | bits(word, 11, 7)
+    return sign_extend(raw, 12)
+
+
+def imm_b(word: int) -> int:
+    """Sign-extended 13-bit B-type branch offset (always even)."""
+    raw = (
+        (bit(word, 31) << 12)
+        | (bit(word, 7) << 11)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 11, 8) << 1)
+    )
+    return sign_extend(raw, 13)
+
+
+def imm_u(word: int) -> int:
+    """Sign-extended U-type immediate (already shifted left by 12)."""
+    return sign_extend(word & 0xFFFF_F000, 32)
+
+
+def imm_j(word: int) -> int:
+    """Sign-extended 21-bit J-type jump offset (always even)."""
+    raw = (
+        (bit(word, 31) << 20)
+        | (bits(word, 19, 12) << 12)
+        | (bit(word, 20) << 11)
+        | (bits(word, 30, 21) << 1)
+    )
+    return sign_extend(raw, 21)
+
+
+def shamt64(word: int) -> int:
+    """Shift amount for RV64I shift-immediate instructions, bits [25:20]."""
+    return bits(word, 25, 20)
+
+
+def shamt32(word: int) -> int:
+    """Shift amount for *W shift-immediate instructions, bits [24:20]."""
+    return bits(word, 24, 20)
+
+
+def csr_address(word: int) -> int:
+    """CSR address of a Zicsr instruction, bits [31:20]."""
+    return bits(word, 31, 20)
+
+
+# Vector extension fields ----------------------------------------------------
+
+def vm(word: int) -> int:
+    """Vector mask bit [25]: 1 = unmasked, 0 = masked by v0."""
+    return bit(word, 25)
+
+
+def funct6(word: int) -> int:
+    """OP-V arithmetic funct6, bits [31:26]."""
+    return bits(word, 31, 26)
+
+
+def vmem_nf(word: int) -> int:
+    """Vector load/store NFIELDS-1, bits [31:29]."""
+    return bits(word, 31, 29)
+
+
+def vmem_mop(word: int) -> int:
+    """Vector load/store addressing mode, bits [27:26].
+
+    00 = unit-stride, 01 = indexed-unordered, 10 = strided,
+    11 = indexed-ordered.
+    """
+    return bits(word, 27, 26)
+
+
+def vmem_width(word: int) -> int:
+    """Vector load/store width field (shares bits [14:12] with funct3)."""
+    return bits(word, 14, 12)
+
+
+VMEM_WIDTH_TO_EEW = {0b000: 8, 0b101: 16, 0b110: 32, 0b111: 64}
+EEW_TO_VMEM_WIDTH = {eew: code for code, eew in VMEM_WIDTH_TO_EEW.items()}
+
+
+# ---------------------------------------------------------------------------
+# Field packing (used by the assembler)
+# ---------------------------------------------------------------------------
+
+def _check_reg(value: int, what: str) -> None:
+    if not 0 <= value < 32:
+        raise ValueError(f"{what} out of range: {value}")
+
+
+def encode_r(op: int, rd_: int, f3: int, rs1_: int, rs2_: int, f7: int) -> int:
+    """Pack an R-type instruction word."""
+    for name, value in (("rd", rd_), ("rs1", rs1_), ("rs2", rs2_)):
+        _check_reg(value, name)
+    return (
+        (f7 & mask(7)) << 25
+        | rs2_ << 20
+        | rs1_ << 15
+        | (f3 & mask(3)) << 12
+        | rd_ << 7
+        | (op & mask(7))
+    )
+
+
+def encode_r4(op: int, rd_: int, f3: int, rs1_: int, rs2_: int,
+              rs3_: int, fmt: int) -> int:
+    """Pack an R4-type (fused multiply-add) instruction word."""
+    for name, value in (("rd", rd_), ("rs1", rs1_), ("rs2", rs2_), ("rs3", rs3_)):
+        _check_reg(value, name)
+    return (
+        rs3_ << 27
+        | (fmt & mask(2)) << 25
+        | rs2_ << 20
+        | rs1_ << 15
+        | (f3 & mask(3)) << 12
+        | rd_ << 7
+        | (op & mask(7))
+    )
+
+
+def encode_i(op: int, rd_: int, f3: int, rs1_: int, imm: int) -> int:
+    """Pack an I-type instruction word; ``imm`` must fit in signed 12 bits."""
+    _check_reg(rd_, "rd")
+    _check_reg(rs1_, "rs1")
+    if not -2048 <= imm <= 2047:
+        raise ValueError(f"I-type immediate out of range: {imm}")
+    return (
+        (imm & mask(12)) << 20
+        | rs1_ << 15
+        | (f3 & mask(3)) << 12
+        | rd_ << 7
+        | (op & mask(7))
+    )
+
+
+def encode_s(op: int, f3: int, rs1_: int, rs2_: int, imm: int) -> int:
+    """Pack an S-type instruction word; ``imm`` must fit in signed 12 bits."""
+    _check_reg(rs1_, "rs1")
+    _check_reg(rs2_, "rs2")
+    if not -2048 <= imm <= 2047:
+        raise ValueError(f"S-type immediate out of range: {imm}")
+    imm &= mask(12)
+    return (
+        bits(imm, 11, 5) << 25
+        | rs2_ << 20
+        | rs1_ << 15
+        | (f3 & mask(3)) << 12
+        | bits(imm, 4, 0) << 7
+        | (op & mask(7))
+    )
+
+
+def encode_b(op: int, f3: int, rs1_: int, rs2_: int, imm: int) -> int:
+    """Pack a B-type instruction word; ``imm`` is a signed even 13-bit offset."""
+    _check_reg(rs1_, "rs1")
+    _check_reg(rs2_, "rs2")
+    if imm % 2:
+        raise ValueError(f"branch offset must be even: {imm}")
+    if not -4096 <= imm <= 4094:
+        raise ValueError(f"B-type offset out of range: {imm}")
+    imm &= mask(13)
+    return (
+        bit(imm, 12) << 31
+        | bits(imm, 10, 5) << 25
+        | rs2_ << 20
+        | rs1_ << 15
+        | (f3 & mask(3)) << 12
+        | bits(imm, 4, 1) << 8
+        | bit(imm, 11) << 7
+        | (op & mask(7))
+    )
+
+
+def encode_u(op: int, rd_: int, imm: int) -> int:
+    """Pack a U-type instruction word; ``imm`` is the 20-bit upper immediate."""
+    _check_reg(rd_, "rd")
+    if not -(1 << 19) <= imm < (1 << 20):
+        raise ValueError(f"U-type immediate out of range: {imm}")
+    return (imm & mask(20)) << 12 | rd_ << 7 | (op & mask(7))
+
+
+def encode_j(op: int, rd_: int, imm: int) -> int:
+    """Pack a J-type instruction word; ``imm`` is a signed even 21-bit offset."""
+    _check_reg(rd_, "rd")
+    if imm % 2:
+        raise ValueError(f"jump offset must be even: {imm}")
+    if not -(1 << 20) <= imm < (1 << 20):
+        raise ValueError(f"J-type offset out of range: {imm}")
+    imm &= mask(21)
+    return (
+        bit(imm, 20) << 31
+        | bits(imm, 10, 1) << 21
+        | bit(imm, 11) << 20
+        | bits(imm, 19, 12) << 12
+        | rd_ << 7
+        | (op & mask(7))
+    )
+
+
+def encode_vector_arith(f6: int, vm_: int, vs2: int, vs1: int,
+                        f3: int, vd: int, op: int) -> int:
+    """Pack an OP-V arithmetic instruction word."""
+    for name, value in (("vd", vd), ("vs1/rs1", vs1), ("vs2", vs2)):
+        _check_reg(value, name)
+    return (
+        (f6 & mask(6)) << 26
+        | (vm_ & 1) << 25
+        | vs2 << 20
+        | vs1 << 15
+        | (f3 & mask(3)) << 12
+        | vd << 7
+        | (op & mask(7))
+    )
+
+
+def encode_vector_mem(nf: int, mop: int, vm_: int, rs2_or_lumop: int,
+                      rs1_: int, width: int, vd: int, op: int) -> int:
+    """Pack a vector load/store instruction word."""
+    _check_reg(vd, "vd")
+    _check_reg(rs1_, "rs1")
+    _check_reg(rs2_or_lumop, "rs2/lumop")
+    return (
+        (nf & mask(3)) << 29
+        | (mop & mask(2)) << 26
+        | (vm_ & 1) << 25
+        | rs2_or_lumop << 20
+        | rs1_ << 15
+        | (width & mask(3)) << 12
+        | vd << 7
+        | (op & mask(7))
+    )

@@ -1,0 +1,82 @@
+"""Architectural register names for RV64 (integer, floating-point, vector).
+
+The assembler accepts both numeric (``x5``/``f3``/``v12``) and ABI
+(``t0``/``ft3``) spellings; the disassembler prints ABI names.
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_VEC_REGS = 32
+
+INT_ABI_NAMES = (
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+    "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+    "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+    "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+)
+
+FP_ABI_NAMES = (
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7",
+    "fs0", "fs1", "fa0", "fa1", "fa2", "fa3", "fa4", "fa5",
+    "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+    "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+)
+
+_INT_LOOKUP: dict[str, int] = {}
+_FP_LOOKUP: dict[str, int] = {}
+_VEC_LOOKUP: dict[str, int] = {}
+
+for _i, _name in enumerate(INT_ABI_NAMES):
+    _INT_LOOKUP[_name] = _i
+    _INT_LOOKUP[f"x{_i}"] = _i
+_INT_LOOKUP["fp"] = 8  # alias of s0
+
+for _i, _name in enumerate(FP_ABI_NAMES):
+    _FP_LOOKUP[_name] = _i
+    _FP_LOOKUP[f"f{_i}"] = _i
+
+for _i in range(NUM_VEC_REGS):
+    _VEC_LOOKUP[f"v{_i}"] = _i
+
+
+def parse_int_reg(name: str) -> int:
+    """Map an integer register spelling (``x7``, ``t2``, ``fp``) to its index."""
+    try:
+        return _INT_LOOKUP[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown integer register {name!r}") from None
+
+
+def parse_fp_reg(name: str) -> int:
+    """Map an FP register spelling (``f7``, ``fa0``) to its index."""
+    try:
+        return _FP_LOOKUP[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown FP register {name!r}") from None
+
+
+def parse_vec_reg(name: str) -> int:
+    """Map a vector register spelling (``v0``..``v31``) to its index."""
+    try:
+        return _VEC_LOOKUP[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown vector register {name!r}") from None
+
+
+def int_reg_name(index: int) -> str:
+    """ABI name for an integer register index."""
+    return INT_ABI_NAMES[index]
+
+
+def fp_reg_name(index: int) -> str:
+    """ABI name for an FP register index."""
+    return FP_ABI_NAMES[index]
+
+
+def vec_reg_name(index: int) -> str:
+    """Name for a vector register index."""
+    if not 0 <= index < NUM_VEC_REGS:
+        raise ValueError(f"vector register index out of range: {index}")
+    return f"v{index}"

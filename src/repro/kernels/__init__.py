@@ -1,0 +1,74 @@
+"""RISC-V kernel workloads for Coyote (assembled from genuine RV64+RVV
+assembly) plus their data generators and numpy verifiers."""
+
+from repro.kernels.data import (
+    CsrMatrix,
+    banded_csr,
+    clustered_csr,
+    dense_matrix,
+    dense_vector,
+    random_csr,
+)
+from repro.kernels.compression import quantise_matrix, spmv_csr_compressed
+from repro.kernels.extras import stream_triad, vector_axpy, vector_dot
+from repro.kernels.fft import fft_radix2
+from repro.kernels.histogram import histogram
+from repro.kernels.nn import dense_relu_layer, mlp_inference
+from repro.kernels.matmul import scalar_matmul, vector_matmul
+from repro.kernels.spmv import (
+    SPMV_VARIANTS,
+    scalar_spmv,
+    spmv_csr_gather_accum,
+    spmv_csr_gather_reduce,
+    spmv_ell,
+)
+from repro.kernels.stencil import reference_stencil, vector_stencil
+from repro.kernels.workload import Workload, build_workload
+
+KERNELS = {
+    "scalar-matmul": scalar_matmul,
+    "vector-matmul": vector_matmul,
+    "scalar-spmv": scalar_spmv,
+    "spmv-csr-gather-reduce": spmv_csr_gather_reduce,
+    "spmv-csr-gather-accum": spmv_csr_gather_accum,
+    "spmv-ell": spmv_ell,
+    "spmv-csr-compressed": spmv_csr_compressed,
+    "vector-stencil": vector_stencil,
+    "vector-axpy": vector_axpy,
+    "stream-triad": stream_triad,
+    "vector-dot": vector_dot,
+    "fft-radix2": fft_radix2,
+    "nn-dense-relu": dense_relu_layer,
+    "mlp-inference": mlp_inference,
+    "histogram": histogram,
+}
+
+__all__ = [
+    "KERNELS",
+    "SPMV_VARIANTS",
+    "CsrMatrix",
+    "Workload",
+    "banded_csr",
+    "build_workload",
+    "clustered_csr",
+    "dense_matrix",
+    "dense_relu_layer",
+    "dense_vector",
+    "fft_radix2",
+    "histogram",
+    "mlp_inference",
+    "quantise_matrix",
+    "random_csr",
+    "spmv_csr_compressed",
+    "reference_stencil",
+    "scalar_matmul",
+    "scalar_spmv",
+    "spmv_csr_gather_accum",
+    "spmv_csr_gather_reduce",
+    "spmv_ell",
+    "stream_triad",
+    "vector_axpy",
+    "vector_dot",
+    "vector_matmul",
+    "vector_stencil",
+]

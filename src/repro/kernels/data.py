@@ -1,0 +1,138 @@
+"""Workload data generators: dense matrices and sparse CSR matrices.
+
+Sparse generators cover the patterns SpMV studies care about: uniformly
+random sparsity, banded (diagonal-clustered) structure, and clustered
+non-zeros — the paper's §IV calls out "how the clustering of non-zero
+values in sparse matrices can be exploited" as a question for Coyote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CsrMatrix:
+    """A CSR sparse matrix with float64 values."""
+
+    num_rows: int
+    num_cols: int
+    values: np.ndarray    # float64[nnz]
+    col_indices: np.ndarray  # int64[nnz]
+    row_pointers: np.ndarray  # int64[num_rows + 1]
+
+    @property
+    def nnz(self) -> int:
+        return len(self.values)
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.num_rows, self.num_cols))
+        for row in range(self.num_rows):
+            start, end = self.row_pointers[row], self.row_pointers[row + 1]
+            dense[row, self.col_indices[start:end]] = \
+                self.values[start:end]
+        return dense
+
+    def multiply(self, x: np.ndarray) -> np.ndarray:
+        """Reference SpMV: ``y = A @ x``."""
+        y = np.zeros(self.num_rows)
+        for row in range(self.num_rows):
+            start, end = self.row_pointers[row], self.row_pointers[row + 1]
+            y[row] = np.dot(self.values[start:end],
+                            x[self.col_indices[start:end]])
+        return y
+
+    def to_ell(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """Convert to ELLPACK: padded (values, columns) column-major.
+
+        Returns ``(values, columns, width)`` where both arrays have shape
+        ``(width, num_rows)`` flattened row-major (i.e. slot-major), and
+        padded entries have value 0 and column 0.
+        """
+        width = max((int(self.row_pointers[row + 1]
+                         - self.row_pointers[row])
+                     for row in range(self.num_rows)), default=0)
+        values = np.zeros((width, self.num_rows))
+        columns = np.zeros((width, self.num_rows), dtype=np.int64)
+        for row in range(self.num_rows):
+            start, end = self.row_pointers[row], self.row_pointers[row + 1]
+            length = end - start
+            values[:length, row] = self.values[start:end]
+            columns[:length, row] = self.col_indices[start:end]
+        return values, columns, width
+
+
+def dense_matrix(rows: int, cols: int, seed: int = 0) -> np.ndarray:
+    """A reproducible dense float64 matrix with entries in [-1, 1)."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=(rows, cols))
+
+
+def dense_vector(length: int, seed: int = 0) -> np.ndarray:
+    """A reproducible dense float64 vector with entries in [-1, 1)."""
+    rng = np.random.default_rng(seed)
+    return rng.uniform(-1.0, 1.0, size=length)
+
+
+def random_csr(num_rows: int, num_cols: int, nnz_per_row: int,
+               seed: int = 0) -> CsrMatrix:
+    """Uniformly random sparsity: each row gets ``nnz_per_row`` distinct
+    random columns."""
+    if nnz_per_row > num_cols:
+        raise ValueError(f"nnz_per_row {nnz_per_row} exceeds {num_cols} "
+                         f"columns")
+    rng = np.random.default_rng(seed)
+    values, columns, pointers = [], [], [0]
+    for _row in range(num_rows):
+        cols = np.sort(rng.choice(num_cols, size=nnz_per_row,
+                                  replace=False))
+        columns.extend(int(c) for c in cols)
+        values.extend(rng.uniform(-1.0, 1.0, size=nnz_per_row))
+        pointers.append(len(columns))
+    return CsrMatrix(num_rows, num_cols, np.asarray(values),
+                     np.asarray(columns, dtype=np.int64),
+                     np.asarray(pointers, dtype=np.int64))
+
+
+def banded_csr(num_rows: int, bandwidth: int, seed: int = 0) -> CsrMatrix:
+    """A banded matrix: non-zeros within ``bandwidth`` of the diagonal.
+
+    High spatial locality in the ``x`` gather — the friendly case.
+    """
+    rng = np.random.default_rng(seed)
+    values, columns, pointers = [], [], [0]
+    for row in range(num_rows):
+        low = max(0, row - bandwidth)
+        high = min(num_rows - 1, row + bandwidth)
+        cols = range(low, high + 1)
+        columns.extend(cols)
+        values.extend(rng.uniform(-1.0, 1.0, size=len(list(cols))))
+        pointers.append(len(columns))
+    return CsrMatrix(num_rows, num_rows, np.asarray(values),
+                     np.asarray(columns, dtype=np.int64),
+                     np.asarray(pointers, dtype=np.int64))
+
+
+def clustered_csr(num_rows: int, num_cols: int, nnz_per_row: int,
+                  cluster_width: int, seed: int = 0) -> CsrMatrix:
+    """Non-zeros clustered in one contiguous window per row.
+
+    Models the clustering §IV discusses: gathers touch few cache lines
+    per row, unlike the uniform-random case.
+    """
+    if cluster_width < nnz_per_row:
+        raise ValueError("cluster_width must be >= nnz_per_row")
+    rng = np.random.default_rng(seed)
+    values, columns, pointers = [], [], [0]
+    for _row in range(num_rows):
+        base = int(rng.integers(0, max(1, num_cols - cluster_width)))
+        offsets = np.sort(rng.choice(cluster_width, size=nnz_per_row,
+                                     replace=False))
+        columns.extend(int(base + offset) for offset in offsets)
+        values.extend(rng.uniform(-1.0, 1.0, size=nnz_per_row))
+        pointers.append(len(columns))
+    return CsrMatrix(num_rows, num_cols, np.asarray(values),
+                     np.asarray(columns, dtype=np.int64),
+                     np.asarray(pointers, dtype=np.int64))

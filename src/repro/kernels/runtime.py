@@ -1,0 +1,153 @@
+"""Bare-metal runtime scaffolding shared by all kernels.
+
+Provides the boot/exit wrapper (each hart calls ``main`` with
+``a0 = hartid`` and exits through the ``tohost`` protocol), assembly
+fragments like the per-hart work splitter, and emitters that turn numpy
+arrays into ``.data`` directives.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+_PROLOG = """\
+.text
+.globl _start
+_start:
+    csrr a0, mhartid
+    jal  ra, main
+exit:
+    slli a0, a0, 1
+    ori  a0, a0, 1
+    la   t6, tohost
+    sd   a0, 0(t6)
+halt_loop:
+    j    halt_loop
+"""
+
+_TOHOST = """\
+.align 3
+tohost:
+    .dword 0
+"""
+
+_label_counter = itertools.count()
+
+
+def wrap_program(main_body: str, data_section: str) -> str:
+    """Assemble the full source: prolog + ``main`` + data + tohost.
+
+    ``main_body`` must define the ``main`` label and return (``ret``) with
+    the exit code in ``a0``.
+    """
+    return (f"{_PROLOG}\n{main_body}\n.data\n{_TOHOST}\n{data_section}\n")
+
+
+def range_split(total: str | int, cores: str | int,
+                start_reg: str = "s0", end_reg: str = "s1") -> str:
+    """Fragment computing this hart's [start, end) slice of ``total`` items.
+
+    Expects ``a0 = hartid``; clobbers ``t0``-``t4``.  Remainder items go
+    one-each to the lowest-numbered harts, so any total/cores combination
+    divides fully.
+    """
+    uid = next(_label_counter)
+    return f"""\
+    li   t0, {total}
+    li   t1, {cores}
+    divu t2, t0, t1              # q = total / cores
+    remu t3, t0, t1              # r = total % cores
+    mul  {start_reg}, a0, t2     # start = hid * q
+    bltu a0, t3, rs_lo_{uid}     # if hid < r: start += hid; len = q+1
+    add  {start_reg}, {start_reg}, t3
+    mv   t4, t2
+    j    rs_done_{uid}
+rs_lo_{uid}:
+    add  {start_reg}, {start_reg}, a0
+    addi t4, t2, 1
+rs_done_{uid}:
+    add  {end_reg}, {start_reg}, t4
+"""
+
+
+def barrier(num_cores: int, hartid_reg: str = "a6") -> str:
+    """Sense-reversing barrier fragment built on ``amoadd.w``.
+
+    Requires the data section to contain ``bar_cnt``/``bar_gen`` words
+    (use :func:`barrier_data`).  Clobbers ``t0``-``t5``.  Safe for
+    repeated use: the generation counter only ever increments.
+    """
+    uid = next(_label_counter)
+    return f"""\
+    la   t0, bar_gen
+    lw   t1, 0(t0)           # my generation
+    la   t2, bar_cnt
+    li   t3, 1
+    amoadd.w t4, t3, (t2)    # t4 = arrivals before me
+    addi t4, t4, 1
+    li   t5, {num_cores}
+    bne  t4, t5, bw_{uid}    # not last: wait for the generation bump
+    sw   zero, 0(t2)         # last arrival: reset count,
+    addi t1, t1, 1           # bump generation, and go
+    sw   t1, 0(t0)
+    j    bd_{uid}
+bw_{uid}:
+    lw   t5, 0(t0)
+    beq  t5, t1, bw_{uid}
+bd_{uid}:
+"""
+
+
+def barrier_data() -> str:
+    """The data words the :func:`barrier` fragment spins on."""
+    return ".align 3\nbar_cnt:\n    .word 0\nbar_gen:\n    .word 0\n"
+
+
+def emit_doubles(label: str, values: np.ndarray | list[float]) -> str:
+    """Emit a labelled ``.double`` array (8-byte aligned)."""
+    array = np.asarray(values, dtype=np.float64).ravel()
+    lines = [f".align 3", f"{label}:"]
+    for start in range(0, len(array), 8):
+        chunk = array[start:start + 8]
+        lines.append("    .double " + ", ".join(repr(float(value))
+                                                for value in chunk))
+    if len(array) == 0:
+        lines.append("    .zero 0")
+    return "\n".join(lines) + "\n"
+
+
+def emit_dwords(label: str, values: np.ndarray | list[int]) -> str:
+    """Emit a labelled ``.dword`` array (8-byte aligned)."""
+    if isinstance(values, np.ndarray):
+        array = [int(value) for value in values.ravel()]
+    else:
+        # Avoid np.asarray here: Python ints above 2**63-1 would be
+        # coerced to float64 and lose precision.
+        array = [int(value) for value in values]
+    lines = [f".align 3", f"{label}:"]
+    for start in range(0, len(array), 8):
+        chunk = array[start:start + 8]
+        lines.append("    .dword " + ", ".join(str(value)
+                                               for value in chunk))
+    if not array:
+        lines.append("    .zero 0")
+    return "\n".join(lines) + "\n"
+
+
+def emit_zero_doubles(label: str, count: int) -> str:
+    """Emit a labelled zero-initialised array of ``count`` doubles."""
+    return f".align 3\n{label}:\n    .zero {8 * count}\n"
+
+
+def read_doubles(memory, address: int, count: int) -> np.ndarray:
+    """Read ``count`` float64 values from simulated memory."""
+    raw = memory.load_bytes(address, 8 * count)
+    return np.frombuffer(raw, dtype=np.float64).copy()
+
+
+def read_dwords(memory, address: int, count: int) -> np.ndarray:
+    """Read ``count`` uint64 values from simulated memory."""
+    raw = memory.load_bytes(address, 8 * count)
+    return np.frombuffer(raw, dtype=np.uint64).copy()

@@ -1,0 +1,36 @@
+"""The Sparta-modelled memory hierarchy: L2 banks, NoC, memory
+controllers, bank-mapping policies, and the tiled-system assembly."""
+
+from repro.memhier.hierarchy import MemHierConfig, MemoryHierarchy
+from repro.memhier.l2bank import CacheBank, L2Bank
+from repro.memhier.mapping import (
+    MappingPolicy,
+    PageToBank,
+    SetInterleaving,
+    make_policy,
+    policy_names,
+)
+from repro.memhier.memctrl import MemoryController
+from repro.memhier.noc import CrossbarNoC, MeshNoC, NocError, make_noc
+from repro.memhier.request import MemRequest, RequestKind
+from repro.memhier.tagarray import TagArray
+
+__all__ = [
+    "CacheBank",
+    "CrossbarNoC",
+    "L2Bank",
+    "MappingPolicy",
+    "MemHierConfig",
+    "MemRequest",
+    "MemoryController",
+    "MemoryHierarchy",
+    "MeshNoC",
+    "NocError",
+    "PageToBank",
+    "RequestKind",
+    "SetInterleaving",
+    "TagArray",
+    "make_noc",
+    "make_policy",
+    "policy_names",
+]

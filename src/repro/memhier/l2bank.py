@@ -1,0 +1,227 @@
+"""A cache bank, modelled as an independent Sparta unit.
+
+"The functionality of each element (e.g. an L2 Bank) is encapsulated as an
+independent component" — each bank owns its tag array, MSHR file, and a
+pending queue used when the configured maximum number of in-flight misses
+is reached (back-pressure).
+
+The class is level-agnostic: the hierarchy instantiates it as L2 banks
+(requests from the tile side, fills from memory or from an L3) and — the
+paper's "deeper memory hierarchies can currently be modelled" — as an
+optional L3 level sitting between the L2 banks and the memory
+controllers.  Response routing is carried per-request in
+``MemRequest.fill_target`` ("where the response to this request goes"),
+so one bank can serve waiters from many different requesters.
+
+Timing: hits respond after ``hit_latency``; misses spend ``miss_latency``
+on lookup/MSHR allocation before the fill request leaves for the next
+level.  Lines are installed only when the fill response returns, and
+dirty victims generate writebacks toward memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.memhier.request import MemRequest, RequestKind
+from repro.memhier.tagarray import TagArray
+from repro.sparta.unit import Unit
+
+
+class CacheBank(Unit):
+    """A single bank of a shared / tile-private cache level."""
+
+    def __init__(self, name: str, parent: Unit, *, size_bytes: int,
+                 associativity: int, line_bytes: int, hit_latency: int,
+                 miss_latency: int, max_in_flight: int,
+                 send: Callable[[str, str, object], None],
+                 next_level_of: Callable[[int], str],
+                 records_bank_id: bool = True,
+                 cycles_per_request: int = 0):
+        super().__init__(name, parent)
+        if max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got "
+                             f"{max_in_flight}")
+        if cycles_per_request < 0:
+            raise ValueError(f"cycles_per_request must be >= 0, got "
+                             f"{cycles_per_request}")
+        self.tags = TagArray(size_bytes, associativity, line_bytes)
+        self.hit_latency = hit_latency
+        self.miss_latency = miss_latency
+        self.max_in_flight = max_in_flight
+        # 0 = the paper's idealised bank (unlimited throughput); N > 0
+        # models a single bank port accepting one request every N cycles
+        # (bank conflicts appear as queueing delay).
+        self.cycles_per_request = cycles_per_request
+        self._next_free_cycle = 0
+        self._send = send
+        self._next_level_of = next_level_of
+        self._records_bank_id = records_bank_id
+        self.endpoint = self.path              # NoC endpoint for requests
+        self.fill_endpoint = self.path + ".fill"  # NoC endpoint for fills
+
+        # line_address -> list of requests waiting on that fill.
+        self._mshrs: dict[int, list[MemRequest]] = {}
+        self._pending: deque[MemRequest] = deque()
+
+        stats = self.stats
+        self._stat_requests = stats.counter("requests",
+                                            "requests received")
+        self._stat_hits = stats.counter("hits", "bank hits")
+        self._stat_misses = stats.counter("misses", "bank misses")
+        self._stat_writebacks_in = stats.counter(
+            "writebacks_in", "writebacks received from above")
+        self._stat_writebacks_out = stats.counter(
+            "writebacks_out", "dirty victims written toward memory")
+        self._stat_coalesced = stats.counter(
+            "coalesced", "misses merged into an existing MSHR")
+        self._stat_stalled = stats.counter(
+            "mshr_stalls", "requests queued because the MSHR file was full")
+        self._stat_occupancy = stats.gauge("mshr_occupancy",
+                                           "in-flight misses")
+        self._stat_conflicts = stats.counter(
+            "port_conflict_cycles",
+            "cycles requests waited for the bank port")
+
+    # -- NoC-facing entry points ---------------------------------------------
+
+    def handle_request(self, request: MemRequest) -> None:
+        """A request arrived from the level above."""
+        if self._records_bank_id:
+            request.bank_id = _bank_index_of(self.name)
+        self._stat_requests.increment()
+        port_wait = self._claim_port()
+        if request.kind is RequestKind.WRITEBACK:
+            if port_wait:
+                self.scheduler.schedule(self._handle_writeback,
+                                        port_wait, (request,))
+            else:
+                self._handle_writeback(request)
+            return
+        if self.tags.lookup(request.line_address,
+                            request.kind is RequestKind.STORE):
+            self._stat_hits.increment()
+            if self._records_bank_id:
+                request.l2_hit = True
+            self.scheduler.schedule(self._respond,
+                                    port_wait + self.hit_latency,
+                                    (request,))
+            return
+        self._stat_misses.increment()
+        if self._records_bank_id:
+            request.l2_hit = False
+        self.scheduler.schedule(self._start_miss,
+                                port_wait + self.miss_latency,
+                                (request,))
+
+    def _claim_port(self) -> int:
+        """Cycles this request must wait for the bank port (0 when the
+        port is idealised)."""
+        if not self.cycles_per_request:
+            return 0
+        now = self.scheduler.current_cycle
+        start = max(now, self._next_free_cycle)
+        self._next_free_cycle = start + self.cycles_per_request
+        wait = start - now
+        if wait:
+            self._stat_conflicts.increment(wait)
+        return wait
+
+    def handle_fill(self, request: MemRequest) -> None:
+        """A fill response arrived from the level below."""
+        line = request.line_address
+        waiters = self._mshrs.pop(line, None)
+        if waiters is None:
+            raise RuntimeError(
+                f"{self.path}: fill for {line:#x} without an MSHR")
+        dirty = any(waiter.kind is RequestKind.STORE for waiter in waiters)
+        victim = self.tags.install(line, dirty=dirty)
+        if victim is not None:
+            victim_line, victim_dirty = victim
+            if victim_dirty:
+                self._write_toward_memory(victim_line)
+        for waiter in waiters:
+            self._respond(waiter)
+        self._stat_occupancy.add(-1)
+        self._drain_pending()
+
+    # -- internals ------------------------------------------------------------
+
+    def _handle_writeback(self, request: MemRequest) -> None:
+        self._stat_writebacks_in.increment()
+        if self.tags.lookup(request.line_address, is_write=True):
+            return  # absorbed: line resident, now dirty
+        # Not resident: forward toward memory without allocating.
+        self._write_toward_memory(request.line_address)
+
+    def _write_toward_memory(self, line_address: int) -> None:
+        self._stat_writebacks_out.increment()
+        writeback = MemRequest(
+            request_id=-1, core_id=-1, tile_id=-1,
+            line_address=line_address, kind=RequestKind.WRITEBACK,
+            issue_cycle=self.scheduler.current_cycle)
+        self._send(self.endpoint,
+                   self._next_level_of(line_address), writeback)
+
+    def _start_miss(self, request: MemRequest) -> None:
+        line = request.line_address
+        waiters = self._mshrs.get(line)
+        if waiters is not None:
+            waiters.append(request)
+            self._stat_coalesced.increment()
+            return
+        if len(self._mshrs) >= self.max_in_flight:
+            self._stat_stalled.increment()
+            self._pending.append(request)
+            return
+        self._allocate_mshr(request)
+
+    def _allocate_mshr(self, request: MemRequest) -> None:
+        self._mshrs[request.line_address] = [request]
+        self._stat_occupancy.add(1)
+        # Forward a distinct fill request: the waiter keeps its own
+        # fill_target (where *its* response must go), while the fill's
+        # response comes back to this bank.
+        fill = MemRequest(
+            request_id=-2, core_id=request.core_id,
+            tile_id=request.tile_id, line_address=request.line_address,
+            kind=RequestKind.LOAD,
+            issue_cycle=self.scheduler.current_cycle)
+        fill.fill_target = self.fill_endpoint
+        self._send(self.endpoint,
+                   self._next_level_of(request.line_address), fill)
+
+    def _drain_pending(self) -> None:
+        while self._pending and len(self._mshrs) < self.max_in_flight:
+            request = self._pending.popleft()
+            waiters = self._mshrs.get(request.line_address)
+            if waiters is not None:
+                waiters.append(request)
+                self._stat_coalesced.increment()
+                continue
+            self._allocate_mshr(request)
+
+    def _respond(self, request: MemRequest) -> None:
+        self._send(self.endpoint, request.fill_target, request)
+
+    # -- introspection ---------------------------------------------------------
+
+    def in_flight(self) -> int:
+        """Currently outstanding fills."""
+        return len(self._mshrs)
+
+    def queued(self) -> int:
+        """Requests waiting for a free MSHR."""
+        return len(self._pending)
+
+
+# The hierarchy's L2 level is built from CacheBank instances; the old name
+# remains for callers that speak in the paper's terms.
+L2Bank = CacheBank
+
+
+def _bank_index_of(name: str) -> int:
+    """Extract the numeric suffix of a bank unit name like ``bank12``."""
+    digits = "".join(ch for ch in name if ch.isdigit())
+    return int(digits) if digits else -1

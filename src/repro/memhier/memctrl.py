@@ -1,0 +1,113 @@
+"""Memory controller + HBM-like channel model.
+
+The paper lists memory-controller modelling as work in progress and uses
+fixed latencies; we implement a simple but useful model: each controller
+has a fixed access ``latency`` plus a bandwidth limit expressed as
+``cycles_per_request`` (the initiation interval of its single channel).
+Requests that arrive while the channel is busy queue up and are served in
+order — so bank-conflict-like pressure on one controller shows up as
+queueing delay, which is exactly the first-order effect design-space
+exploration needs.
+
+An optional stream prefetcher (extension; the paper calls prefetching a
+"next step") watches fill addresses per controller and preloads the
+next sequential line into the requesting bank's MSHR stream.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.memhier.request import MemRequest, RequestKind
+from repro.sparta.unit import Unit
+
+
+class MemoryController(Unit):
+    """One memory channel: fixed latency + initiation-interval bandwidth."""
+
+    def __init__(self, name: str, parent: Unit, *, latency: int = 100,
+                 cycles_per_request: int = 2,
+                 send: Callable[[str, str, object], None] | None = None,
+                 prefetch_depth: int = 0, line_bytes: int = 64):
+        super().__init__(name, parent)
+        if latency < 1:
+            raise ValueError(f"latency must be >= 1, got {latency}")
+        if cycles_per_request < 1:
+            raise ValueError(
+                f"cycles_per_request must be >= 1, got {cycles_per_request}")
+        if prefetch_depth < 0:
+            raise ValueError(
+                f"prefetch_depth must be >= 0, got {prefetch_depth}")
+        self.latency = latency
+        self.cycles_per_request = cycles_per_request
+        self.prefetch_depth = prefetch_depth
+        self.line_bytes = line_bytes
+        self._send = send
+        self.endpoint = self.path
+        self._next_free_cycle = 0
+        self._prefetched: set[int] = set()
+
+        stats = self.stats
+        self._stat_reads = stats.counter("reads", "fill requests served")
+        self._stat_writes = stats.counter("writes", "writebacks absorbed")
+        self._stat_queue_cycles = stats.counter(
+            "queue_cycles", "total cycles requests waited for the channel")
+        self._stat_busy_cycles = stats.counter(
+            "busy_cycles", "cycles the channel transferred data")
+        self._stat_prefetches = stats.counter(
+            "prefetches", "sequential lines prefetched (extension)")
+
+    def handle_request(self, request: MemRequest) -> None:
+        """A fill request or writeback arrived from an L2 bank."""
+        now = self.scheduler.current_cycle
+        start = max(now, self._next_free_cycle)
+        self._stat_queue_cycles.increment(start - now)
+        # An MCPU-aggregated request transfers all its member lines
+        # back-to-back on the channel.
+        transfer_cycles = self.cycles_per_request * request.num_lines
+        self._next_free_cycle = start + transfer_cycles
+        self._stat_busy_cycles.increment(transfer_cycles)
+
+        if request.kind is RequestKind.WRITEBACK:
+            self._stat_writes.increment()
+            return  # absorbed; no response needed
+        self._stat_reads.increment()
+        request.mc_id = _mc_index_of(self.name)
+
+        # Stream-prefetch extension: a read of a previously prefetched line
+        # is served at channel speed (its DRAM access already happened);
+        # each demand read triggers prefetches of the next sequential lines.
+        access_latency = self.latency
+        if self.prefetch_depth:
+            if request.line_address in self._prefetched:
+                self._prefetched.discard(request.line_address)
+                access_latency = self.cycles_per_request
+            for depth in range(1, self.prefetch_depth + 1):
+                next_line = request.line_address + depth * self.line_bytes
+                if next_line not in self._prefetched:
+                    self._prefetched.add(next_line)
+                    self._stat_prefetches.increment()
+                    self._next_free_cycle += self.cycles_per_request
+                    self._stat_busy_cycles.increment(self.cycles_per_request)
+
+        # The (single) response leaves once the last member line has
+        # transferred.
+        respond_at = (start + access_latency
+                      + (request.num_lines - 1) * self.cycles_per_request)
+        self.scheduler.schedule(self._respond, respond_at - now, (request,))
+
+    def _respond(self, request: MemRequest) -> None:
+        if self._send is None:
+            raise RuntimeError(f"{self.path}: no send function wired")
+        self._send(self.endpoint, request.fill_target, request)
+
+    def utilisation(self, total_cycles: int) -> float:
+        """Fraction of cycles the channel was transferring data."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self._stat_busy_cycles.value / total_cycles)
+
+
+def _mc_index_of(name: str) -> int:
+    digits = "".join(ch for ch in name if ch.isdigit())
+    return int(digits) if digits else -1

@@ -1,0 +1,121 @@
+"""Network-on-chip models.
+
+The paper models the NoC "as a highly idealized crossbar, that uses fixed,
+configurable latencies" and lists more realistic NoC modelling as work in
+progress.  We provide both:
+
+* :class:`CrossbarNoC` — the paper's model: every route costs the same
+  fixed latency, with unlimited bandwidth.
+* :class:`MeshNoC` — the "future work" extension: endpoints placed on a 2D
+  mesh, XY routing, latency = ``router_latency`` per hop plus
+  ``link_latency`` per link, still without contention (documented
+  idealisation).
+
+Endpoints register a handler; units send by endpoint name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sparta.unit import Unit
+
+
+class NocError(Exception):
+    """Raised for routing mistakes (unknown endpoints, rebinding)."""
+
+
+class CrossbarNoC(Unit):
+    """Idealised full crossbar with a single fixed traversal latency."""
+
+    def __init__(self, name: str, parent: Unit, latency: int = 6):
+        super().__init__(name, parent)
+        if latency < 0:
+            raise ValueError(f"negative NoC latency {latency}")
+        self.latency = latency
+        self._endpoints: dict[str, Callable[[Any], None]] = {}
+        self._messages = self.stats.counter(
+            "messages", "payloads routed through the NoC")
+        self._link_counts: dict[tuple[str, str], int] = {}
+
+    def attach(self, endpoint: str, handler: Callable[[Any], None]) -> None:
+        """Register a named endpoint."""
+        if endpoint in self._endpoints:
+            raise NocError(f"endpoint {endpoint!r} already attached")
+        self._endpoints[endpoint] = handler
+
+    def route_latency(self, source: str, destination: str) -> int:
+        """Cycles to traverse from ``source`` to ``destination``."""
+        return self.latency
+
+    def route(self, source: str, destination: str, payload: Any) -> None:
+        """Send ``payload``; it arrives after :meth:`route_latency`."""
+        handler = self._endpoints.get(destination)
+        if handler is None:
+            raise NocError(f"unknown NoC endpoint {destination!r}")
+        if source not in self._endpoints:
+            raise NocError(f"unknown NoC endpoint {source!r}")
+        self._messages.increment()
+        link = (source, destination)
+        self._link_counts[link] = self._link_counts.get(link, 0) + 1
+        self.scheduler.schedule(handler,
+                                self.route_latency(source, destination),
+                                (payload,))
+
+    def link_utilisation(self) -> dict[tuple[str, str], int]:
+        """Messages per (source, destination) pair."""
+        return dict(self._link_counts)
+
+
+class MeshNoC(CrossbarNoC):
+    """2D mesh with XY routing and per-hop latency (extension).
+
+    Endpoints are assigned coordinates on a ``columns``-wide mesh in
+    attachment order (row-major).  Latency between endpoints is
+    ``(hops + 1) * router_latency + hops * link_latency`` where hops is
+    the Manhattan distance.  Bandwidth/contention is not modelled, as in
+    the paper's idealised NoC.
+    """
+
+    def __init__(self, name: str, parent: Unit, columns: int = 4,
+                 router_latency: int = 1, link_latency: int = 1):
+        super().__init__(name, parent, latency=0)
+        if columns < 1:
+            raise ValueError(f"mesh needs >= 1 column, got {columns}")
+        self.columns = columns
+        self.router_latency = router_latency
+        self.link_latency = link_latency
+        self._coordinates: dict[str, tuple[int, int]] = {}
+
+    def attach(self, endpoint: str, handler: Callable[[Any], None]) -> None:
+        super().attach(endpoint, handler)
+        index = len(self._coordinates)
+        self._coordinates[endpoint] = (index % self.columns,
+                                       index // self.columns)
+
+    def place(self, endpoint: str, x: int, y: int) -> None:
+        """Override the automatic placement of an endpoint."""
+        if endpoint not in self._coordinates:
+            raise NocError(f"unknown NoC endpoint {endpoint!r}")
+        self._coordinates[endpoint] = (x, y)
+
+    def route_latency(self, source: str, destination: str) -> int:
+        sx, sy = self._coordinates[source]
+        dx, dy = self._coordinates[destination]
+        hops = abs(sx - dx) + abs(sy - dy)
+        return (hops + 1) * self.router_latency + hops * self.link_latency
+
+    def rows(self) -> int:
+        """Current number of occupied mesh rows."""
+        if not self._coordinates:
+            return 0
+        return 1 + max(y for _x, y in self._coordinates.values())
+
+
+def make_noc(kind: str, name: str, parent: Unit, **kwargs) -> CrossbarNoC:
+    """NoC factory: ``kind`` is ``"crossbar"`` or ``"mesh"``."""
+    if kind == "crossbar":
+        return CrossbarNoC(name, parent, **kwargs)
+    if kind == "mesh":
+        return MeshNoC(name, parent, **kwargs)
+    raise ValueError(f"unknown NoC kind {kind!r}")

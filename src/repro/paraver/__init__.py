@@ -1,0 +1,40 @@
+"""Paraver-format L1-miss traces: writer, parser, and analyses."""
+
+from repro.paraver.analyzer import (
+    LatencySummary,
+    bank_pressure,
+    kind_breakdown,
+    l2_hit_rate,
+    latency_by_outcome,
+    per_core_counts,
+    stride_histogram,
+    temporal_profile,
+)
+from repro.paraver.parser import PrvParseError, parse_prv
+from repro.paraver.records import L2Outcome, MissKind, MissRecord
+from repro.paraver.writer import (
+    write_pcf,
+    write_prv,
+    write_row,
+    write_trace,
+)
+
+__all__ = [
+    "L2Outcome",
+    "LatencySummary",
+    "MissKind",
+    "MissRecord",
+    "PrvParseError",
+    "bank_pressure",
+    "kind_breakdown",
+    "l2_hit_rate",
+    "latency_by_outcome",
+    "parse_prv",
+    "per_core_counts",
+    "stride_histogram",
+    "temporal_profile",
+    "write_pcf",
+    "write_prv",
+    "write_row",
+    "write_trace",
+]

@@ -1,0 +1,104 @@
+"""Programmatic analysis of L1-miss traces.
+
+The paper uses the Paraver GUI "to truly understand the behavior of
+applications, by identifying access patterns or analyzing how and when
+the L2 banks, NoC, or memory are stressed"; this module provides the same
+analyses as library functions over :class:`MissRecord` lists.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass
+
+from repro.paraver.records import MissKind, MissRecord
+
+
+@dataclass
+class LatencySummary:
+    """Distribution summary of miss latencies."""
+
+    count: int
+    minimum: int
+    maximum: int
+    mean: float
+
+    @classmethod
+    def of(cls, latencies: list[int]) -> "LatencySummary":
+        if not latencies:
+            return cls(0, 0, 0, 0.0)
+        return cls(len(latencies), min(latencies), max(latencies),
+                   sum(latencies) / len(latencies))
+
+
+def bank_pressure(records: list[MissRecord]) -> dict[int, int]:
+    """Misses serviced per L2 bank — the bank load-balance picture."""
+    tally: TallyCounter = TallyCounter()
+    for record in records:
+        tally[record.bank_id] += 1
+    return dict(sorted(tally.items()))
+
+
+def kind_breakdown(records: list[MissRecord]) -> dict[MissKind, int]:
+    """Misses by kind (load / store / ifetch)."""
+    tally: TallyCounter = TallyCounter()
+    for record in records:
+        tally[record.kind] += 1
+    return dict(sorted(tally.items()))
+
+
+def latency_by_outcome(records: list[MissRecord]) \
+        -> dict[str, LatencySummary]:
+    """Latency distributions split by L2 hit vs L2 miss."""
+    hits = [record.latency for record in records if record.l2_hit]
+    misses = [record.latency for record in records if not record.l2_hit]
+    return {"l2_hit": LatencySummary.of(hits),
+            "l2_miss": LatencySummary.of(misses)}
+
+
+def temporal_profile(records: list[MissRecord], duration: int,
+                     bins: int = 20) -> list[int]:
+    """Misses completing per time bin — when the hierarchy is stressed."""
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    histogram = [0] * bins
+    if duration <= 0:
+        return histogram
+    for record in records:
+        index = min(bins - 1, record.complete_cycle * bins // duration)
+        histogram[index] += 1
+    return histogram
+
+
+def per_core_counts(records: list[MissRecord]) -> dict[int, int]:
+    """Misses per requesting core."""
+    tally: TallyCounter = TallyCounter()
+    for record in records:
+        tally[record.core_id] += 1
+    return dict(sorted(tally.items()))
+
+
+def stride_histogram(records: list[MissRecord],
+                     top: int = 5) -> list[tuple[int, int]]:
+    """Most common line-address strides per core, merged.
+
+    Identifies access patterns: a dominant stride of one line means a
+    dense unit-stride sweep; a scattered histogram indicates sparse
+    gathers.
+    """
+    last_line: dict[int, int] = {}
+    tally: TallyCounter = TallyCounter()
+    for record in sorted(records, key=lambda r: (r.core_id,
+                                                 r.issue_cycle)):
+        previous = last_line.get(record.core_id)
+        if previous is not None:
+            tally[(record.line_address - previous) >> 6] += 1
+        last_line[record.core_id] = record.line_address
+    return tally.most_common(top)
+
+
+def l2_hit_rate(records: list[MissRecord]) -> float:
+    """Fraction of L1 misses that hit in L2."""
+    if not records:
+        return 0.0
+    return sum(1 for record in records if record.l2_hit) / len(records)

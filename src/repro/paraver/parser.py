@@ -1,0 +1,75 @@
+"""Parsing Paraver ``.prv`` traces back into miss records."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.paraver.records import (
+    EVENT_BANK,
+    EVENT_L2_OUTCOME,
+    EVENT_LATENCY,
+    EVENT_LINE,
+    EVENT_MISS_KIND,
+    PRV_RECORD_EVENT,
+    MissKind,
+    MissRecord,
+)
+
+
+class PrvParseError(Exception):
+    """Raised for malformed ``.prv`` content."""
+
+
+def parse_header(line: str) -> tuple[int, int]:
+    """Parse the ``#Paraver`` header; returns (duration, num_cores)."""
+    if not line.startswith("#Paraver"):
+        raise PrvParseError(f"not a .prv header: {line[:40]!r}")
+    try:
+        after_date = line.split("):", 1)[1]
+        duration_text, node_text = after_date.split(":", 2)[:2]
+        duration = int(duration_text)
+        num_cores = int(node_text.split("(", 1)[1].rstrip(")"))
+    except (IndexError, ValueError) as exc:
+        raise PrvParseError(f"malformed header: {line[:60]!r}") from exc
+    return duration, num_cores
+
+
+def parse_prv(path: str | Path) -> tuple[list[MissRecord], int, int]:
+    """Read a ``.prv`` file; returns (records, duration, num_cores)."""
+    lines = Path(path).read_text().splitlines()
+    if not lines:
+        raise PrvParseError("empty trace file")
+    duration, num_cores = parse_header(lines[0])
+    records = []
+    for line in lines[1:]:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        record = _parse_event_line(line)
+        if record is not None:
+            records.append(record)
+    return records, duration, num_cores
+
+
+def _parse_event_line(line: str) -> MissRecord | None:
+    fields = line.split(":")
+    if int(fields[0]) != PRV_RECORD_EVENT:
+        return None  # not an event record; ignore states/communications
+    if len(fields) < 8 or (len(fields) - 6) % 2:
+        raise PrvParseError(f"malformed event record: {line!r}")
+    cpu = int(fields[1])
+    time = int(fields[5])
+    events = {}
+    for index in range(6, len(fields), 2):
+        events[int(fields[index])] = int(fields[index + 1])
+    if EVENT_MISS_KIND not in events:
+        return None  # an event group from some other tool
+    latency = events.get(EVENT_LATENCY, 0)
+    return MissRecord(
+        core_id=cpu - 1,
+        issue_cycle=time - latency,
+        complete_cycle=time,
+        line_address=events.get(EVENT_LINE, 0) << 6,
+        kind=MissKind(events[EVENT_MISS_KIND]),
+        bank_id=events.get(EVENT_BANK, 0) - 1,
+        l2_hit=bool(events.get(EVENT_L2_OUTCOME, 0)))

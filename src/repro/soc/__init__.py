@@ -1,0 +1,5 @@
+"""System-on-chip substrates: the shared sparse physical memory."""
+
+from repro.soc.memory import PAGE_SIZE, MemoryError_, SparseMemory
+
+__all__ = ["PAGE_SIZE", "MemoryError_", "SparseMemory"]

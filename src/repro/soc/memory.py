@@ -1,0 +1,98 @@
+"""Sparse physical memory for the simulated system.
+
+Memory is organised as 4 KiB pages allocated on first touch, which lets a
+64-bit address space be modelled with memory proportional to the program's
+footprint.  All accesses are little-endian, matching RISC-V.
+
+This is the *functional* backing store shared by every core; timing is
+modelled separately by the Sparta-side memory hierarchy.
+"""
+
+from __future__ import annotations
+
+PAGE_BITS = 12
+PAGE_SIZE = 1 << PAGE_BITS
+_PAGE_MASK = PAGE_SIZE - 1
+
+
+class MemoryError_(Exception):
+    """Raised for invalid physical memory operations."""
+
+
+class SparseMemory:
+    """A sparse, page-granular byte-addressable memory."""
+
+    def __init__(self):
+        self._pages: dict[int, bytearray] = {}
+
+    def _page(self, page_number: int) -> bytearray:
+        page = self._pages.get(page_number)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_number] = page
+        return page
+
+    # -- bulk accessors -----------------------------------------------------
+
+    def load_bytes(self, address: int, length: int) -> bytes:
+        """Read ``length`` bytes starting at ``address``."""
+        if length < 0:
+            raise MemoryError_(f"negative load length {length}")
+        result = bytearray()
+        remaining = length
+        cursor = address
+        while remaining > 0:
+            page_number = cursor >> PAGE_BITS
+            offset = cursor & _PAGE_MASK
+            chunk = min(remaining, PAGE_SIZE - offset)
+            page = self._pages.get(page_number)
+            if page is None:
+                result += bytes(chunk)
+            else:
+                result += page[offset:offset + chunk]
+            cursor += chunk
+            remaining -= chunk
+        return bytes(result)
+
+    def store_bytes(self, address: int, data: bytes) -> None:
+        """Write ``data`` starting at ``address``."""
+        cursor = address
+        view = memoryview(data)
+        while view:
+            page_number = cursor >> PAGE_BITS
+            offset = cursor & _PAGE_MASK
+            chunk = min(len(view), PAGE_SIZE - offset)
+            self._page(page_number)[offset:offset + chunk] = view[:chunk]
+            cursor += chunk
+            view = view[chunk:]
+
+    # -- scalar accessors (hot path) ----------------------------------------
+
+    def load_int(self, address: int, size: int) -> int:
+        """Read an unsigned little-endian integer of ``size`` bytes."""
+        offset = address & _PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            page = self._pages.get(address >> PAGE_BITS)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset:offset + size], "little")
+        return int.from_bytes(self.load_bytes(address, size), "little")
+
+    def store_int(self, address: int, value: int, size: int) -> None:
+        """Write an unsigned little-endian integer of ``size`` bytes."""
+        offset = address & _PAGE_MASK
+        data = (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+        if offset + size <= PAGE_SIZE:
+            self._page(address >> PAGE_BITS)[offset:offset + size] = data
+        else:
+            self.store_bytes(address, data)
+
+    # -- introspection ------------------------------------------------------
+
+    def allocated_bytes(self) -> int:
+        """Bytes of backing storage currently allocated."""
+        return len(self._pages) * PAGE_SIZE
+
+    def touched_pages(self) -> list[int]:
+        """Sorted list of allocated page base addresses."""
+        return sorted(page << PAGE_BITS for page in self._pages)

@@ -1,0 +1,36 @@
+"""An event-driven modelling framework in the style of SiFive's Sparta.
+
+Provides the substrate the memory-hierarchy model is built from: a
+deterministic cycle-quantised :class:`Scheduler`, hierarchical
+:class:`Unit` components, latency-annotated ports, counters/statistics,
+and validated parameter sets.
+"""
+
+from repro.sparta.params import Parameter, ParameterError, ParameterSet
+from repro.sparta.ports import DataInPort, DataOutPort, PortError
+from repro.sparta.scheduler import Scheduler, SchedulerError
+from repro.sparta.statistics import (
+    Counter,
+    Gauge,
+    StatisticSet,
+    StatSample,
+    format_report,
+)
+from repro.sparta.unit import Unit
+
+__all__ = [
+    "Counter",
+    "DataInPort",
+    "DataOutPort",
+    "Gauge",
+    "Parameter",
+    "ParameterError",
+    "ParameterSet",
+    "PortError",
+    "Scheduler",
+    "SchedulerError",
+    "StatSample",
+    "StatisticSet",
+    "Unit",
+    "format_report",
+]

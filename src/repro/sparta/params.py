@@ -1,0 +1,70 @@
+"""Validated parameter sets for modelling units.
+
+A light equivalent of Sparta's ParameterSet: declare parameters with
+defaults and validators, then freeze the set before simulation starts.
+Configuration errors surface at construction time, not mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class ParameterError(Exception):
+    """Raised for unknown parameters or failed validation."""
+
+
+class Parameter:
+    """One named parameter with a default and an optional validator."""
+
+    def __init__(self, name: str, default: Any, description: str = "",
+                 validator: Callable[[Any], bool] | None = None):
+        self.name = name
+        self.default = default
+        self.description = description
+        self.validator = validator
+
+    def validate(self, value: Any) -> None:
+        if self.validator is not None and not self.validator(value):
+            raise ParameterError(
+                f"parameter {self.name!r}: invalid value {value!r}")
+
+
+class ParameterSet:
+    """A declared, validated bag of parameters."""
+
+    def __init__(self, declarations: list[Parameter]):
+        self._declarations = {decl.name: decl for decl in declarations}
+        if len(self._declarations) != len(declarations):
+            raise ParameterError("duplicate parameter declaration")
+        self._values = {decl.name: decl.default for decl in declarations}
+        self._frozen = False
+
+    def set(self, name: str, value: Any) -> None:
+        if self._frozen:
+            raise ParameterError(f"parameter set is frozen ({name!r})")
+        decl = self._declarations.get(name)
+        if decl is None:
+            raise ParameterError(f"unknown parameter {name!r}")
+        decl.validate(value)
+        self._values[name] = value
+
+    def update(self, values: dict[str, Any]) -> None:
+        for name, value in values.items():
+            self.set(name, value)
+
+    def freeze(self) -> None:
+        """Lock the set; reads remain allowed, writes raise."""
+        self._frozen = True
+
+    def get(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise ParameterError(f"unknown parameter {name!r}") from None
+
+    def __getitem__(self, name: str) -> Any:
+        return self.get(name)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self._values)

@@ -1,0 +1,113 @@
+"""Cycle-quantised discrete-event scheduler (the heart of our Sparta).
+
+Events are callbacks scheduled at integer cycle numbers.  Within one cycle,
+events fire in (priority, insertion-order), making simulations fully
+deterministic.  The Coyote orchestrator advances the scheduler in lockstep
+with functional execution: one ``advance_cycle`` per simulated clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+
+class SchedulerError(Exception):
+    """Raised for invalid scheduling operations."""
+
+
+class Scheduler:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self):
+        self._queue: list[tuple[int, int, int, Callable, tuple]] = []
+        self._sequence = 0
+        self._current_cycle = 0
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def current_cycle(self) -> int:
+        return self._current_cycle
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, callback: Callable, delay: int = 0,
+                 args: tuple = (), priority: int = 0) -> None:
+        """Schedule ``callback(*args)`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise SchedulerError(f"cannot schedule in the past: delay={delay}")
+        if delay == 0 and self._running is False:
+            # Scheduling at the current cycle from outside the event loop is
+            # fine: the event fires on the next advance through this cycle.
+            pass
+        heapq.heappush(self._queue,
+                       (self._current_cycle + delay, priority,
+                        self._sequence, callback, args))
+        self._sequence += 1
+
+    def next_event_cycle(self) -> int | None:
+        """Cycle of the earliest pending event, or None when idle."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def has_events_now(self) -> bool:
+        """True when events are pending at (or before) the current cycle."""
+        return bool(self._queue) and self._queue[0][0] <= self._current_cycle
+
+    def advance_cycle(self) -> int:
+        """Fire every event scheduled for the current cycle, then step the
+        clock by one.  Returns the number of events fired."""
+        fired = self._drain_current()
+        self._current_cycle += 1
+        return fired
+
+    def advance_to(self, cycle: int) -> int:
+        """Advance the clock to ``cycle``, firing all intervening events."""
+        if cycle < self._current_cycle:
+            raise SchedulerError(
+                f"cannot rewind from {self._current_cycle} to {cycle}")
+        fired = 0
+        while self._current_cycle < cycle:
+            fired += self.advance_cycle()
+        return fired
+
+    def run_until_idle(self, max_cycles: int = 10_000_000) -> int:
+        """Advance until no events remain; returns the final cycle."""
+        budget = max_cycles
+        while self._queue:
+            target = self._queue[0][0]
+            if target > self._current_cycle:
+                self._current_cycle = target
+            self._drain_current()
+            self._current_cycle += 1
+            budget -= 1
+            if budget <= 0:
+                raise SchedulerError(
+                    f"run_until_idle exceeded {max_cycles} cycles")
+        return self._current_cycle
+
+    def _drain_current(self) -> int:
+        fired = 0
+        self._running = True
+        try:
+            while self._queue and self._queue[0][0] <= self._current_cycle:
+                cycle, _priority, _seq, callback, args = \
+                    heapq.heappop(self._queue)
+                if cycle < self._current_cycle:
+                    raise SchedulerError(
+                        f"missed event scheduled for cycle {cycle} "
+                        f"(now {self._current_cycle})")
+                callback(*args)
+                fired += 1
+                self._events_fired += 1
+        finally:
+            self._running = False
+        return fired

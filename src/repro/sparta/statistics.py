@@ -1,0 +1,110 @@
+"""Counters and statistic reporting for modelling units.
+
+Each :class:`~repro.sparta.unit.Unit` owns a :class:`StatisticSet`;
+counters register themselves there and the simulation-level report walks
+the unit tree collecting every counter into a flat, named table — the
+equivalent of Sparta's report machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Counter:
+    """A monotonically increasing statistic."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __iadd__(self, amount: int) -> "Counter":
+        self.value += amount
+        return self
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A statistic that can move in both directions (e.g. occupancy)."""
+
+    def __init__(self, name: str, description: str = ""):
+        self.name = name
+        self.description = description
+        self.value = 0
+        self.peak = 0
+
+    def set(self, value: int) -> None:
+        self.value = value
+        if value > self.peak:
+            self.peak = value
+
+    def add(self, amount: int) -> None:
+        self.set(self.value + amount)
+
+
+@dataclass
+class StatSample:
+    """One named value in a report."""
+
+    path: str
+    name: str
+    value: float
+    description: str = ""
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.path}.{self.name}" if self.path else self.name
+
+
+class StatisticSet:
+    """The statistics registered by one unit."""
+
+    def __init__(self, owner_path: str):
+        self._owner_path = owner_path
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        """Create (or fetch) a counter registered under this unit."""
+        if name in self._counters:
+            return self._counters[name]
+        counter = Counter(name, description)
+        self._counters[name] = counter
+        return counter
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        """Create (or fetch) a gauge registered under this unit."""
+        if name in self._gauges:
+            return self._gauges[name]
+        gauge = Gauge(name, description)
+        self._gauges[name] = gauge
+        return gauge
+
+    def samples(self) -> list[StatSample]:
+        """Snapshot every statistic as report samples."""
+        result = [StatSample(self._owner_path, counter.name, counter.value,
+                             counter.description)
+                  for counter in self._counters.values()]
+        for gauge in self._gauges.values():
+            result.append(StatSample(self._owner_path, gauge.name,
+                                     gauge.value, gauge.description))
+            result.append(StatSample(self._owner_path, gauge.name + ".peak",
+                                     gauge.peak, gauge.description))
+        return result
+
+
+def format_report(samples: list[StatSample]) -> str:
+    """Render samples as an aligned text table, sorted by full name."""
+    ordered = sorted(samples, key=lambda sample: sample.full_name)
+    if not ordered:
+        return "(no statistics)"
+    width = max(len(sample.full_name) for sample in ordered)
+    lines = [f"{sample.full_name:<{width}}  {sample.value}"
+             for sample in ordered]
+    return "\n".join(lines)

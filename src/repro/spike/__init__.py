@@ -1,0 +1,48 @@
+"""The functional side of Coyote: harts, L1 caches, bare-metal machine.
+
+Mirrors the role Spike plays in the paper — functional execution of
+multicore RV64 + RVV programs with in-simulator L1 caches, so that only L1
+misses cross into the event-driven memory-hierarchy model.
+"""
+
+from repro.spike.hart import (
+    Breakpoint,
+    EnvironmentCall,
+    Hart,
+    IllegalInstructionTrap,
+    MemAccess,
+    Trap,
+)
+from repro.spike.l1cache import L1Access, L1Cache, L1Stats
+from repro.spike.machine import BareMetalMachine
+from repro.spike.scoreboard import Scoreboard
+from repro.spike.simulator import (
+    AccessKind,
+    CoreModel,
+    CoreStep,
+    L1Config,
+    MissRequest,
+    SpikeSimulator,
+    StepStatus,
+)
+
+__all__ = [
+    "AccessKind",
+    "BareMetalMachine",
+    "Breakpoint",
+    "CoreModel",
+    "CoreStep",
+    "EnvironmentCall",
+    "Hart",
+    "IllegalInstructionTrap",
+    "L1Access",
+    "L1Cache",
+    "L1Config",
+    "L1Stats",
+    "MemAccess",
+    "MissRequest",
+    "Scoreboard",
+    "SpikeSimulator",
+    "StepStatus",
+    "Trap",
+]

@@ -1,0 +1,149 @@
+"""L1 instruction/data cache model (the "Spike side" of the tool boundary).
+
+As in the paper, the private L1 caches are modelled inside the functional
+simulator so that only L1 *misses* cross into the Sparta-modelled memory
+hierarchy, minimising tool interactions.  The cache holds tags only — data
+always lives in the shared functional memory — and implements a
+write-back / write-allocate policy with true-LRU replacement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.bitops import clog2, is_power_of_two
+
+
+@dataclass(frozen=True)
+class L1Access:
+    """Outcome of a single L1 lookup."""
+
+    hit: bool
+    line_address: int
+    writeback_address: int | None = None  # dirty victim evicted on a miss
+
+
+@dataclass
+class L1Stats:
+    """Counters accumulated by one cache instance."""
+
+    reads: int = 0
+    writes: int = 0
+    read_misses: int = 0
+    write_misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def misses(self) -> int:
+        return self.read_misses + self.write_misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+
+class L1Cache:
+    """A set-associative, write-back, write-allocate tag cache."""
+
+    def __init__(self, size_bytes: int = 32 * 1024, associativity: int = 8,
+                 line_bytes: int = 64, name: str = "l1"):
+        if not is_power_of_two(line_bytes):
+            raise ValueError(f"line size must be a power of two: {line_bytes}")
+        num_lines, remainder = divmod(size_bytes, line_bytes)
+        if remainder:
+            raise ValueError("cache size must be a multiple of the line size")
+        self.num_sets, remainder = divmod(num_lines, associativity)
+        if remainder or self.num_sets == 0:
+            raise ValueError(
+                f"size/assoc/line geometry invalid: {size_bytes}/"
+                f"{associativity}/{line_bytes}")
+        if not is_power_of_two(self.num_sets):
+            raise ValueError(f"number of sets must be a power of two, "
+                             f"got {self.num_sets}")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.line_bytes = line_bytes
+        self._offset_bits = clog2(line_bytes)
+        self._index_mask = self.num_sets - 1
+        # Per set: {tag: dirty}; dict preserves insertion order, and we
+        # re-insert on touch, so the first key is always the LRU way.
+        self._sets: list[dict[int, bool]] = [dict()
+                                             for _ in range(self.num_sets)]
+        self.stats = L1Stats()
+
+    # -- geometry helpers ---------------------------------------------------
+
+    def line_address(self, address: int) -> int:
+        """Address of the cache line containing ``address``."""
+        return address >> self._offset_bits << self._offset_bits
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line_number = address >> self._offset_bits
+        return line_number & self._index_mask, line_number
+
+    # -- main access path ---------------------------------------------------
+
+    def access(self, address: int, is_write: bool) -> L1Access:
+        """Look up ``address``; allocates on miss and returns the outcome."""
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        line_addr = tag << self._offset_bits
+        if is_write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+
+        if tag in ways:
+            dirty = ways.pop(tag) or is_write
+            ways[tag] = dirty  # re-insert as MRU
+            return L1Access(hit=True, line_address=line_addr)
+
+        if is_write:
+            self.stats.write_misses += 1
+        else:
+            self.stats.read_misses += 1
+
+        writeback = None
+        if len(ways) >= self.associativity:
+            victim_tag, victim_dirty = next(iter(ways.items()))
+            del ways[victim_tag]
+            if victim_dirty:
+                self.stats.writebacks += 1
+                writeback = victim_tag << self._offset_bits
+        ways[tag] = is_write
+        return L1Access(hit=False, line_address=line_addr,
+                        writeback_address=writeback)
+
+    def probe(self, address: int) -> bool:
+        """True when the line holding ``address`` is resident (no side
+        effects)."""
+        set_index, tag = self._locate(address)
+        return tag in self._sets[set_index]
+
+    # -- maintenance --------------------------------------------------------
+
+    def invalidate_all(self) -> None:
+        """Drop every line (dirty data is *not* written back)."""
+        for ways in self._sets:
+            ways.clear()
+
+    def flush(self) -> list[int]:
+        """Drop every line, returning dirty line addresses for write-back."""
+        dirty_lines = []
+        for set_index, ways in enumerate(self._sets):
+            for tag, dirty in ways.items():
+                if dirty:
+                    dirty_lines.append(tag << self._offset_bits)
+            ways.clear()
+        self.stats.writebacks += len(dirty_lines)
+        return dirty_lines
+
+    def resident_lines(self) -> int:
+        """Number of currently valid lines."""
+        return sum(len(ways) for ways in self._sets)

@@ -1,0 +1,92 @@
+"""Bare-metal machine environment (Spike's HTIF conventions).
+
+The paper runs Spike in bare-metal mode "with very limited availability of
+syscalls".  We reproduce the same environment: a program communicates with
+the host only through the ``tohost`` word.
+
+Protocol (per 64-bit store to ``tohost``):
+
+* ``value >> 48 == 0`` and ``value & 1 == 1`` — the *storing hart* halts
+  with exit code ``value >> 1`` (code 0 is success).  Simulation finishes
+  when every hart has halted.
+* ``value >> 48 == 0x0101`` — console putchar of ``value & 0xFF``
+  (HTIF device 1, command 1).
+
+Each hart boots at the program entry with ``a0 = hart_id`` and a private
+stack, mirroring a minimal SMP firmware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.assembler.program import Program
+from repro.soc.memory import SparseMemory
+from repro.spike.hart import Hart, MemAccess
+
+DEFAULT_STACK_TOP = 0x9000_0000
+DEFAULT_STACK_BYTES = 64 * 1024
+
+TOHOST_SYMBOL = "tohost"
+_HTIF_CONSOLE_TAG = 0x0101
+
+
+@dataclass
+class HtifEvent:
+    """Result of inspecting one instruction's stores for HTIF activity."""
+
+    exited: bool = False
+    exit_code: int = 0
+
+
+class BareMetalMachine:
+    """Shared memory, harts, and the HTIF host interface."""
+
+    def __init__(self, program: Program, num_cores: int,
+                 vlen_bits: int = 512,
+                 stack_top: int = DEFAULT_STACK_TOP,
+                 stack_bytes: int = DEFAULT_STACK_BYTES):
+        self.program = program
+        self.memory = SparseMemory()
+        program.load_into(self.memory)
+        self.tohost_address = program.symbols.get(TOHOST_SYMBOL)
+        self.console = bytearray()
+        self.harts = []
+        self.exit_codes: dict[int, int] = {}
+        for core_id in range(num_cores):
+            hart = Hart(core_id, self.memory, vlen_bits=vlen_bits,
+                        reset_pc=program.entry)
+            hart.regs[2] = stack_top - core_id * stack_bytes  # sp
+            hart.regs[10] = core_id                           # a0
+            self.harts.append(hart)
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.harts)
+
+    def check_htif(self, accesses: list[MemAccess], hart: Hart) -> HtifEvent:
+        """Inspect one step's stores for tohost activity."""
+        if self.tohost_address is None:
+            return HtifEvent()
+        for access in accesses:
+            if not access.is_write or access.address != self.tohost_address:
+                continue
+            value = self.memory.load_int(self.tohost_address, 8)
+            device_command = value >> 48
+            if device_command == _HTIF_CONSOLE_TAG:
+                self.console.append(value & 0xFF)
+                self.memory.store_int(self.tohost_address, 0, 8)
+            elif device_command == 0 and value & 1:
+                code = value >> 1
+                self.exit_codes[hart.hart_id] = code
+                return HtifEvent(exited=True, exit_code=code)
+        return HtifEvent()
+
+    def console_text(self) -> str:
+        """Console output accumulated so far, decoded as UTF-8."""
+        return self.console.decode("utf-8", errors="replace")
+
+    def all_succeeded(self) -> bool:
+        """True when every hart exited with code 0."""
+        return (len(self.exit_codes) == self.num_cores
+                and all(code == 0 for code in self.exit_codes.values()))

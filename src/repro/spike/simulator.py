@@ -1,0 +1,226 @@
+"""The functional multicore simulator (our "Spike").
+
+Two layers live here:
+
+* :class:`CoreModel` — one core with private L1 I/D caches.  Its
+  :meth:`CoreModel.step` executes a single instruction functionally and
+  classifies every memory access against the L1s, reporting the misses
+  that must be sent into the Sparta-modelled hierarchy.  This is the
+  per-cycle entry point used by the Coyote orchestrator.
+
+* :class:`SpikeSimulator` — a free-running multicore ISS without timing,
+  supporting Spike's *interleaving* optimisation (execute N instructions
+  per core before switching).  Coyote runs with interleaving disabled
+  (N = 1), which is the performance effect Figure 3 analyses; the raw ISS
+  exposes the knob so the ablation benchmark can measure it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.assembler.program import Program
+from repro.spike.hart import Hart, Trap
+from repro.spike.l1cache import L1Cache
+from repro.spike.machine import BareMetalMachine
+
+
+class AccessKind(enum.Enum):
+    """Classification of a request leaving a core for the hierarchy."""
+
+    IFETCH = "ifetch"
+    LOAD = "load"
+    STORE = "store"
+    WRITEBACK = "writeback"
+
+
+@dataclass(frozen=True)
+class MissRequest:
+    """An L1 miss that must be serviced by the modelled hierarchy."""
+
+    core_id: int
+    line_address: int
+    kind: AccessKind
+    registers: tuple = ()  # registers released when the miss completes
+
+
+class StepStatus(enum.Enum):
+    """Outcome of attempting to execute one instruction on a core."""
+
+    EXECUTED = "executed"
+    RAW_STALL = "raw-stall"
+    FETCH_MISS = "fetch-miss"
+    HALTED = "halted"
+
+
+@dataclass
+class CoreStep:
+    """Everything the orchestrator needs to know about one core-step."""
+
+    status: StepStatus
+    mnemonic: str | None = None
+    misses: list[MissRequest] = field(default_factory=list)
+    exited: bool = False
+    exit_code: int = 0
+
+
+@dataclass
+class L1Config:
+    """Geometry of the private L1 caches (identical across cores)."""
+
+    icache_bytes: int = 16 * 1024
+    dcache_bytes: int = 32 * 1024
+    associativity: int = 8
+    line_bytes: int = 64
+
+
+class CoreModel:
+    """One simulated core: hart + private L1 I/D caches."""
+
+    def __init__(self, hart: Hart, machine: BareMetalMachine,
+                 l1: L1Config | None = None):
+        l1 = l1 or L1Config()
+        self.hart = hart
+        self.machine = machine
+        self.core_id = hart.hart_id
+        self.l1i = L1Cache(l1.icache_bytes, l1.associativity, l1.line_bytes,
+                           name=f"core{self.core_id}.l1i")
+        self.l1d = L1Cache(l1.dcache_bytes, l1.associativity, l1.line_bytes,
+                           name=f"core{self.core_id}.l1d")
+        self.halted = False
+        self.raw_stalls = 0
+        self.fetch_stalls = 0
+        self.instructions = 0
+
+    def peek_registers(self) -> tuple:
+        """Source+destination registers of the next instruction.
+
+        The orchestrator checks these against the scoreboard *before*
+        calling :meth:`step`; both sources (RAW) and destinations (WAW on
+        a pending fill) must be free.
+        """
+        return self.hart.decode_at(self.hart.pc).all_regs
+
+    def step(self) -> CoreStep:
+        """Execute one instruction, classifying accesses against the L1s."""
+        if self.halted:
+            return CoreStep(StepStatus.HALTED)
+
+        misses: list[MissRequest] = []
+        hart = self.hart
+
+        # Instruction fetch through the L1I.
+        fetch = self.l1i.access(hart.pc, is_write=False)
+        if not fetch.hit:
+            self.fetch_stalls += 1
+            misses.append(MissRequest(self.core_id, fetch.line_address,
+                                      AccessKind.IFETCH))
+            if fetch.writeback_address is not None:
+                misses.append(MissRequest(self.core_id,
+                                          fetch.writeback_address,
+                                          AccessKind.WRITEBACK))
+            return CoreStep(StepStatus.FETCH_MISS, misses=misses)
+
+        instr = hart.step()
+        self.instructions += 1
+
+        # Classify this step's data accesses, coalescing per cache line:
+        # a repeated (line, kind) pair within one instruction (e.g. a
+        # unit-stride vector load) produces a single request.
+        accesses = hart.accesses
+        if accesses:
+            l1d = self.l1d
+            line_bytes = l1d.line_bytes
+            seen: set[tuple[int, bool]] | None = \
+                set() if len(accesses) > 1 else None
+            for access in accesses:
+                is_write = access.is_write
+                first_line = l1d.line_address(access.address)
+                last_line = l1d.line_address(access.address
+                                             + access.size - 1)
+                line = first_line
+                while line <= last_line:
+                    if seen is not None:
+                        key = (line, is_write)
+                        if key in seen:
+                            line += line_bytes
+                            continue
+                        seen.add(key)
+                    result = l1d.access(line, is_write)
+                    if not result.hit:
+                        kind = (AccessKind.STORE if is_write
+                                else AccessKind.LOAD)
+                        registers = (instr.dests
+                                     if kind is AccessKind.LOAD else ())
+                        misses.append(MissRequest(self.core_id, line,
+                                                  kind, registers))
+                        if result.writeback_address is not None:
+                            misses.append(MissRequest(
+                                self.core_id, result.writeback_address,
+                                AccessKind.WRITEBACK))
+                    line += line_bytes
+
+        event = self.machine.check_htif(hart.accesses, hart)
+        if event.exited:
+            self.halted = True
+        return CoreStep(StepStatus.EXECUTED, mnemonic=instr.mnemonic,
+                        misses=misses, exited=event.exited,
+                        exit_code=event.exit_code)
+
+
+class SpikeSimulator:
+    """Free-running functional multicore simulation (no timing model).
+
+    This is the raw ISS: it executes instructions as fast as possible with
+    a configurable interleaving batch, and is used standalone for
+    functional kernel testing and for the interleaving ablation.
+    """
+
+    def __init__(self, program: Program, num_cores: int = 1,
+                 vlen_bits: int = 512, interleave: int = 1):
+        if interleave < 1:
+            raise ValueError(f"interleave must be >= 1, got {interleave}")
+        self.machine = BareMetalMachine(program, num_cores,
+                                        vlen_bits=vlen_bits)
+        self.interleave = interleave
+        self.halted = [False] * num_cores
+        self.instructions = 0
+
+    @property
+    def harts(self) -> list[Hart]:
+        return self.machine.harts
+
+    def run(self, max_instructions: int = 100_000_000) -> int:
+        """Run until every hart halts; returns instructions executed.
+
+        Raises ``RuntimeError`` if ``max_instructions`` is exhausted first
+        (a runaway-program backstop) or if a hart traps.
+        """
+        remaining = max_instructions
+        harts = self.machine.harts
+        while not all(self.halted):
+            progress = False
+            for hart in harts:
+                if self.halted[hart.hart_id]:
+                    continue
+                progress = True
+                for _ in range(self.interleave):
+                    try:
+                        hart.step()
+                    except Trap as exc:
+                        raise RuntimeError(
+                            f"hart {hart.hart_id} trapped: {exc}") from exc
+                    self.instructions += 1
+                    remaining -= 1
+                    if remaining <= 0:
+                        raise RuntimeError(
+                            f"instruction budget exhausted "
+                            f"({max_instructions})")
+                    event = self.machine.check_htif(hart.accesses, hart)
+                    if event.exited:
+                        self.halted[hart.hart_id] = True
+                        break
+            if not progress:
+                break
+        return self.instructions

@@ -1,0 +1,110 @@
+"""Fixed-width integer and bit-manipulation helpers.
+
+Python integers are arbitrary precision, so every architectural value in the
+simulator is kept as an *unsigned* integer of a known width and converted to
+a signed view only at the point an instruction's semantics require it.  These
+helpers centralise that discipline.
+"""
+
+from __future__ import annotations
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFF_FFFF
+MASK64 = 0xFFFF_FFFF_FFFF_FFFF
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits (``mask(3) == 0b111``)."""
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int = 64) -> int:
+    """Truncate ``value`` to its low ``width`` bits (unsigned view)."""
+    return value & mask(width)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Interpret the low ``width`` bits of ``value`` as two's complement.
+
+    Returns a Python int that may be negative:
+
+    >>> sign_extend(0xFF, 8)
+    -1
+    >>> sign_extend(0x7F, 8)
+    127
+    """
+    if width <= 0:
+        raise ValueError(f"sign_extend width must be positive, got {width}")
+    value &= mask(width)
+    sign_bit = 1 << (width - 1)
+    return (value ^ sign_bit) - sign_bit
+
+
+def to_signed(value: int, width: int = 64) -> int:
+    """Unsigned ``width``-bit value -> signed Python int."""
+    return sign_extend(value, width)
+
+
+def to_unsigned(value: int, width: int = 64) -> int:
+    """Signed Python int -> unsigned ``width``-bit representation."""
+    return value & mask(width)
+
+
+def bits(value: int, hi: int, lo: int) -> int:
+    """Extract the inclusive bit-field ``value[hi:lo]``.
+
+    >>> bits(0b110100, 5, 2)
+    0b1101
+    """
+    if hi < lo:
+        raise ValueError(f"bit range hi={hi} < lo={lo}")
+    return (value >> lo) & mask(hi - lo + 1)
+
+
+def bit(value: int, index: int) -> int:
+    """Extract the single bit ``value[index]`` (0 or 1)."""
+    return (value >> index) & 1
+
+
+def set_bits(value: int, hi: int, lo: int, field: int) -> int:
+    """Return ``value`` with the inclusive field ``[hi:lo]`` replaced."""
+    if hi < lo:
+        raise ValueError(f"bit range hi={hi} < lo={lo}")
+    width = hi - lo + 1
+    field &= mask(width)
+    cleared = value & ~(mask(width) << lo)
+    return cleared | (field << lo)
+
+
+def is_power_of_two(value: int) -> bool:
+    """True for 1, 2, 4, 8, ...; False for 0 and non-powers."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def clog2(value: int) -> int:
+    """Ceiling log2 for positive integers (``clog2(1) == 0``)."""
+    if value <= 0:
+        raise ValueError(f"clog2 requires a positive value, got {value}")
+    return (value - 1).bit_length()
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of a power-of-two ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of a power-of-two ``alignment``."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_aligned(value: int, alignment: int) -> bool:
+    """True when ``value`` is a multiple of power-of-two ``alignment``."""
+    return align_down(value, alignment) == value

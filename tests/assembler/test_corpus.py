@@ -1,0 +1,69 @@
+"""Corpus tests: every kernel's program must decode and disassemble
+cleanly, and round-trip through the assembler where possible."""
+
+import pytest
+
+from repro.isa.decoder import decode
+from repro.isa.disasm import disassemble
+from repro.kernels import KERNELS
+
+# Small, fast parameterisations for every registered kernel.
+KERNEL_PARAMS = {
+    "scalar-matmul": dict(size=6, num_cores=2),
+    "vector-matmul": dict(size=6, num_cores=2),
+    "scalar-spmv": dict(num_rows=8, nnz_per_row=2, num_cores=2),
+    "spmv-csr-gather-reduce": dict(num_rows=8, nnz_per_row=2,
+                                   num_cores=2),
+    "spmv-csr-gather-accum": dict(num_rows=8, nnz_per_row=2,
+                                  num_cores=2),
+    "spmv-ell": dict(num_rows=8, nnz_per_row=2, num_cores=2),
+    "spmv-csr-compressed": dict(num_rows=8, nnz_per_row=2, num_cores=2),
+    "vector-stencil": dict(length=16, num_cores=2),
+    "vector-axpy": dict(length=16, num_cores=2),
+    "stream-triad": dict(length=16, num_cores=2),
+    "vector-dot": dict(length=16, num_cores=2),
+    "fft-radix2": dict(length=8, num_cores=2),
+    "nn-dense-relu": dict(in_dim=6, out_dim=6, num_cores=2),
+    "mlp-inference": dict(dims=(6, 8, 4), num_cores=2),
+    "histogram": dict(length=32, num_bins=8, num_cores=2),
+}
+
+
+def iter_text_words(program):
+    """Yield (address, word) for the text segment."""
+    segment = program.segments[0]
+    for offset in range(0, len(segment.data), 4):
+        yield (segment.base + offset,
+               int.from_bytes(segment.data[offset:offset + 4], "little"))
+
+
+def test_every_kernel_has_params():
+    assert set(KERNEL_PARAMS) == set(KERNELS)
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS), ids=sorted(KERNELS))
+def test_kernel_text_decodes_and_disassembles(kernel):
+    workload = KERNELS[kernel](**KERNEL_PARAMS[kernel])
+    count = 0
+    for _address, word in iter_text_words(workload.program):
+        instr = decode(word)
+        text = disassemble(instr)
+        assert text and "?" not in text, \
+            f"{kernel}: {word:#010x} -> {text!r}"
+        count += 1
+    assert count > 10
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS), ids=sorted(KERNELS))
+def test_kernel_srcs_dests_well_formed(kernel):
+    """Every decoded instruction's register metadata uses valid
+    classes/indices (the scoreboard depends on this)."""
+    workload = KERNELS[kernel](**KERNEL_PARAMS[kernel])
+    for _address, word in iter_text_words(workload.program):
+        instr = decode(word)
+        for regclass, index in instr.srcs + instr.dests:
+            assert regclass in ("x", "f", "v")
+            assert 0 <= index < 32
+            if regclass == "x":
+                assert index != 0, \
+                    f"{kernel}: x0 tracked in {instr.mnemonic}"

@@ -1,0 +1,190 @@
+"""Direct encoder tests: operand validation and encoding invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assembler.encoder import (
+    EncodeContext,
+    EncodeError,
+    encode,
+    parse_mem_operand,
+    supported_mnemonics,
+)
+from repro.isa.decoder import decode
+from repro.isa.registers import INT_ABI_NAMES
+
+
+def ctx(pc=0x8000_0000, symbols=None):
+    from repro.assembler.expr import evaluate
+
+    table = symbols or {}
+    return EncodeContext(pc=pc,
+                         resolve=lambda text: evaluate(text, table))
+
+
+class TestMemOperand:
+    def test_basic(self):
+        assert parse_mem_operand("8(sp)", ctx()) == (8, 2)
+
+    def test_no_offset(self):
+        assert parse_mem_operand("(a0)", ctx()) == (0, 10)
+
+    def test_negative_offset(self):
+        assert parse_mem_operand("-24(s0)", ctx()) == (-24, 8)
+
+    def test_expression_offset(self):
+        assert parse_mem_operand("8*2(sp)", ctx()) == (16, 2)
+
+    def test_malformed(self):
+        with pytest.raises(EncodeError):
+            parse_mem_operand("a0", ctx())
+
+
+class TestValidation:
+    def test_wrong_operand_count(self):
+        with pytest.raises(EncodeError):
+            encode("add", ["a0", "a1"], ctx())
+
+    def test_unknown_register(self):
+        with pytest.raises(EncodeError):
+            encode("add", ["a0", "a1", "q7"], ctx())
+
+    def test_imm_out_of_range(self):
+        with pytest.raises(EncodeError):
+            encode("addi", ["a0", "a1", "5000"], ctx())
+
+    def test_shift_out_of_range(self):
+        with pytest.raises(EncodeError):
+            encode("slli", ["a0", "a1", "64"], ctx())
+
+    def test_word_shift_out_of_range(self):
+        with pytest.raises(EncodeError):
+            encode("slliw", ["a0", "a1", "32"], ctx())
+
+    def test_csr_imm_out_of_range(self):
+        with pytest.raises(EncodeError):
+            encode("csrrwi", ["a0", "mstatus", "32"], ctx())
+
+    def test_vector_imm_out_of_range(self):
+        with pytest.raises(EncodeError):
+            encode("vadd.vi", ["v1", "v2", "16"], ctx())
+
+    def test_vector_uimm_rejects_negative(self):
+        with pytest.raises(EncodeError):
+            encode("vsll.vi", ["v1", "v2", "-1"], ctx())
+
+    def test_vector_mem_offset_rejected(self):
+        with pytest.raises(EncodeError):
+            encode("vle64.v", ["v1", "8(a0)"], ctx())
+
+    def test_system_takes_no_operands(self):
+        with pytest.raises(EncodeError):
+            encode("ecall", ["a0"], ctx())
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodeError):
+            encode("addq", ["a0", "a1", "a2"], ctx())
+
+    def test_vmerge_requires_v0(self):
+        with pytest.raises(EncodeError):
+            encode("vmerge.vvm", ["v1", "v2", "v3", "v4"], ctx())
+
+
+class TestEncodings:
+    def test_every_supported_mnemonic_is_lowercase(self):
+        for mnemonic in supported_mnemonics():
+            assert mnemonic == mnemonic.lower()
+
+    def test_abi_and_numeric_names_equal(self):
+        for index, name in enumerate(INT_ABI_NAMES):
+            a = encode("add", [name, "a1", "a2"], ctx())
+            b = encode("add", [f"x{index}", "a1", "a2"], ctx())
+            assert a == b
+
+    def test_jalr_shorthand(self):
+        full = encode("jalr", ["ra", "0(t0)"], ctx())
+        short = encode("jalr", ["t0"], ctx())
+        assert full == short
+
+    def test_jal_shorthand(self):
+        full = encode("jal", ["ra", "0x80000040"], ctx())
+        short = encode("jal", ["0x80000040"], ctx())
+        assert full == short
+
+    def test_branch_is_pc_relative(self):
+        near = encode("beq", ["a0", "a1", "0x80000010"],
+                      ctx(pc=0x8000_0000))
+        far = encode("beq", ["a0", "a1", "0x80000110"],
+                     ctx(pc=0x8000_0100))
+        assert near == far
+
+    def test_la_pair_materialises_address(self):
+        target = 0x8000_2468
+        hi = encode("la.hi", ["a0", "sym"],
+                    ctx(pc=0x8000_0000, symbols={"sym": target}))
+        lo = encode("la.lo", ["a0", "sym"],
+                    ctx(pc=0x8000_0004, symbols={"sym": target}))
+        hi_instr, lo_instr = decode(hi), decode(lo)
+        value = (0x8000_0000 + hi_instr.imm + lo_instr.imm) \
+            & 0xFFFF_FFFF_FFFF_FFFF
+        assert value == target
+
+    @given(st.integers(min_value=-(1 << 20) // 2,
+                       max_value=(1 << 20) // 2 - 1))
+    def test_la_pair_any_displacement(self, displacement):
+        pc = 0x8000_0000
+        target = pc + displacement * 2
+        hi = decode(encode("la.hi", ["a0", "s"],
+                           ctx(pc=pc, symbols={"s": target})))
+        lo = decode(encode("la.lo", ["a0", "s"],
+                           ctx(pc=pc + 4, symbols={"s": target})))
+        assert pc + hi.imm + lo.imm == target
+
+    def test_vsetvli_vtype_bits(self):
+        word = encode("vsetvli", ["t0", "a0", "e32", "m2", "ta", "ma"],
+                      ctx())
+        instr = decode(word)
+        from repro.isa.vtype import VType
+        vtype = VType.decode(instr.imm)
+        assert vtype.sew == 32 and int(vtype.lmul) == 2
+
+    def test_vsetivli(self):
+        instr = decode(encode("vsetivli", ["t0", "12", "e64", "m1"], ctx()))
+        assert instr.mnemonic == "vsetivli" and instr.shamt == 12
+
+    def test_indexed_ordered_vs_unordered(self):
+        unordered = decode(encode("vluxei64.v", ["v1", "(a0)", "v2"],
+                                  ctx()))
+        ordered = decode(encode("vloxei64.v", ["v1", "(a0)", "v2"], ctx()))
+        assert unordered.mop == 0b01 and ordered.mop == 0b11
+
+
+class TestHypothesisRoundtrip:
+    """Random fields -> encode -> decode must reproduce the fields."""
+
+    regs = st.integers(min_value=0, max_value=31)
+
+    @given(rd=regs, rs1=regs, imm=st.integers(min_value=-2048,
+                                              max_value=2047))
+    def test_addi(self, rd, rs1, imm):
+        word = encode("addi", [f"x{rd}", f"x{rs1}", str(imm)], ctx())
+        instr = decode(word)
+        assert (instr.rd, instr.rs1, instr.imm) == (rd, rs1, imm)
+
+    @given(vd=regs, vs2=regs, vs1=regs,
+           masked=st.booleans())
+    def test_vadd(self, vd, vs2, vs1, masked):
+        operands = [f"v{vd}", f"v{vs2}", f"v{vs1}"]
+        if masked:
+            operands.append("v0.t")
+        instr = decode(encode("vadd.vv", operands, ctx()))
+        assert (instr.rd, instr.rs2, instr.rs1) == (vd, vs2, vs1)
+        assert instr.vm == (0 if masked else 1)
+
+    @given(rd=regs, rs1=regs,
+           offset=st.integers(min_value=-2048, max_value=2047))
+    def test_loads(self, rd, rs1, offset):
+        instr = decode(encode("ld", [f"x{rd}", f"{offset}(x{rs1})"],
+                              ctx()))
+        assert (instr.rd, instr.rs1, instr.imm) == (rd, rs1, offset)

@@ -1,0 +1,110 @@
+"""Tests for the assembler expression evaluator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assembler.expr import ExprError, evaluate
+
+
+class TestLiterals:
+    def test_decimal(self):
+        assert evaluate("42") == 42
+
+    def test_hex(self):
+        assert evaluate("0xFF") == 255
+
+    def test_binary(self):
+        assert evaluate("0b1010") == 10
+
+    def test_octal(self):
+        assert evaluate("0o17") == 15
+
+    def test_char(self):
+        assert evaluate("'A'") == 65
+
+    def test_char_escape(self):
+        assert evaluate("'\\n'") == 10
+
+
+class TestOperators:
+    def test_addition(self):
+        assert evaluate("1 + 2 + 3") == 6
+
+    def test_precedence(self):
+        assert evaluate("2 + 3 * 4") == 14
+
+    def test_parentheses(self):
+        assert evaluate("(2 + 3) * 4") == 20
+
+    def test_unary_minus(self):
+        assert evaluate("-5 + 3") == -2
+
+    def test_unary_tilde(self):
+        assert evaluate("~0") == -1
+
+    def test_shifts(self):
+        assert evaluate("1 << 12") == 4096
+        assert evaluate("256 >> 4") == 16
+
+    def test_bitwise(self):
+        assert evaluate("0xF0 | 0x0F") == 0xFF
+        assert evaluate("0xFF & 0x0F") == 0x0F
+        assert evaluate("0xFF ^ 0x0F") == 0xF0
+
+    def test_bitwise_precedence(self):
+        # | binds weaker than &
+        assert evaluate("1 | 2 & 3") == 1 | (2 & 3)
+
+    def test_division_truncates(self):
+        assert evaluate("7 / 2") == 3
+        assert evaluate("-7 / 2") == -3  # C-style truncation
+
+    def test_modulo(self):
+        assert evaluate("7 % 3") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExprError):
+            evaluate("1 / 0")
+
+
+class TestSymbols:
+    def test_lookup(self):
+        assert evaluate("base + 8", {"base": 0x1000}) == 0x1008
+
+    def test_undefined(self):
+        with pytest.raises(ExprError):
+            evaluate("nope")
+
+    def test_symbol_with_dots(self):
+        assert evaluate("my.label", {"my.label": 5}) == 5
+
+
+class TestErrors:
+    def test_empty(self):
+        with pytest.raises(ExprError):
+            evaluate("")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(ExprError):
+            evaluate("1 2")
+
+    def test_unbalanced_parens(self):
+        with pytest.raises(ExprError):
+            evaluate("(1 + 2")
+
+    def test_bad_token(self):
+        with pytest.raises(ExprError):
+            evaluate("1 @ 2")
+
+
+@given(st.integers(min_value=-(1 << 31), max_value=1 << 31),
+       st.integers(min_value=-(1 << 31), max_value=1 << 31))
+def test_matches_python_addition(a, b):
+    assert evaluate(f"({a}) + ({b})") == a + b
+
+
+@given(st.integers(min_value=0, max_value=1 << 20),
+       st.integers(min_value=0, max_value=16))
+def test_matches_python_shift(value, shift):
+    assert evaluate(f"{value} << {shift}") == value << shift

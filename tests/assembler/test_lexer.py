@@ -1,0 +1,99 @@
+"""Tests for the assembler lexer."""
+
+import pytest
+
+from repro.assembler.lexer import (
+    AsmSyntaxError,
+    split_operands,
+    strip_comment,
+    tokenize,
+    tokenize_line,
+    unescape_string,
+)
+
+
+class TestStripComment:
+    def test_hash_comment(self):
+        assert strip_comment("addi a0, a0, 1 # comment") == \
+            "addi a0, a0, 1 "
+
+    def test_double_slash_comment(self):
+        assert strip_comment("add a0, a1, a2 // note") == "add a0, a1, a2 "
+
+    def test_hash_inside_string_kept(self):
+        assert strip_comment('.asciz "a#b" # real') == '.asciz "a#b" '
+
+    def test_no_comment(self):
+        assert strip_comment("nop") == "nop"
+
+    def test_escaped_quote_in_string(self):
+        text = '.asciz "say \\"hi\\"" # c'
+        assert strip_comment(text) == '.asciz "say \\"hi\\"" '
+
+
+class TestSplitOperands:
+    def test_simple(self):
+        assert split_operands("a0, a1, a2") == ["a0", "a1", "a2"]
+
+    def test_memory_operand(self):
+        assert split_operands("a0, 8(sp), 3") == ["a0", "8(sp)", "3"]
+
+    def test_expression_with_parens(self):
+        assert split_operands("a0, (1+2)*3") == ["a0", "(1+2)*3"]
+
+    def test_empty(self):
+        assert split_operands("") == []
+
+    def test_string_with_comma(self):
+        assert split_operands('"a,b", 3') == ['"a,b"', "3"]
+
+    def test_whitespace_trimmed(self):
+        assert split_operands("  a0 ,  a1  ") == ["a0", "a1"]
+
+
+class TestTokenizeLine:
+    def test_label_only(self):
+        statements = tokenize_line("loop:", 1)
+        assert len(statements) == 1
+        assert statements[0].label == "loop"
+        assert statements[0].mnemonic is None
+
+    def test_label_and_instruction(self):
+        statements = tokenize_line("loop: addi a0, a0, -1", 3)
+        assert [s.label for s in statements] == ["loop", None]
+        assert statements[1].mnemonic == "addi"
+        assert statements[1].operands == ["a0", "a0", "-1"]
+
+    def test_multiple_labels(self):
+        statements = tokenize_line("a: b: nop", 1)
+        assert [s.label for s in statements] == ["a", "b", None]
+
+    def test_directive(self):
+        statements = tokenize_line(".align 3", 1)
+        assert statements[0].is_directive
+        assert statements[0].mnemonic == ".align"
+
+    def test_mnemonic_lowercased(self):
+        assert tokenize_line("ADDI a0, a0, 1", 1)[0].mnemonic == "addi"
+
+    def test_blank_line(self):
+        assert tokenize_line("   ", 1) == []
+
+    def test_comment_only_line(self):
+        assert tokenize_line("# nothing here", 1) == []
+
+    def test_line_numbers_recorded(self):
+        statements = tokenize("nop\nnop\n")
+        assert [s.line_number for s in statements] == [1, 2]
+
+
+class TestUnescapeString:
+    def test_plain(self):
+        assert unescape_string('"hello"') == b"hello"
+
+    def test_escapes(self):
+        assert unescape_string('"a\\nb\\t"') == b"a\nb\t"
+
+    def test_not_a_string(self):
+        with pytest.raises(AsmSyntaxError):
+            unescape_string("hello")

@@ -1,0 +1,152 @@
+"""Tests for pseudo-instruction expansion."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assembler.pseudo import (
+    PseudoError,
+    expand,
+    is_pseudo,
+    li_sequence,
+)
+from repro.utils.bitops import MASK64, sign_extend
+
+
+def resolve_const(text: str) -> int:
+    return int(text, 0)
+
+
+def expand_simple(mnemonic, *operands):
+    return expand(mnemonic, list(operands), resolve_const)
+
+
+class TestLiSequence:
+    def test_small_positive(self):
+        assert li_sequence("a0", 5) == [("addi", ["a0", "zero", "5"])]
+
+    def test_small_negative(self):
+        assert li_sequence("a0", -2048) == \
+            [("addi", ["a0", "zero", "-2048"])]
+
+    def test_32bit_uses_lui(self):
+        sequence = li_sequence("a0", 0x12345000)
+        assert sequence[0][0] == "lui"
+
+    def test_32bit_with_low_bits(self):
+        sequence = li_sequence("a0", 0x12345678)
+        assert [mnemonic for mnemonic, _ in sequence] == ["lui", "addiw"]
+
+    def test_64bit_sequence_bounded(self):
+        sequence = li_sequence("a0", 0x0123_4567_89AB_CDEF)
+        assert len(sequence) <= 8
+
+    @staticmethod
+    def _interpret(sequence) -> int:
+        """Execute an li expansion symbolically."""
+        regs = {"zero": 0, "a0": 0}
+        for mnemonic, operands in sequence:
+            if mnemonic == "addi" or mnemonic == "addiw":
+                rd, rs, imm = operands
+                value = regs[rs] + int(imm)
+                if mnemonic == "addiw":
+                    value = sign_extend(value & 0xFFFF_FFFF, 32)
+                regs[rd] = value & MASK64
+            elif mnemonic == "lui":
+                rd, imm = operands
+                regs[rd] = sign_extend((int(imm, 0) & 0xFFFFF) << 12,
+                                       32) & MASK64
+            elif mnemonic == "slli":
+                rd, rs, amount = operands
+                regs[rd] = (regs[rs] << int(amount)) & MASK64
+            else:
+                raise AssertionError(f"unexpected {mnemonic}")
+        return regs["a0"]
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 64) - 1))
+    def test_li_materialises_exact_value(self, value):
+        result = self._interpret(li_sequence("a0", value))
+        assert result == value & MASK64
+
+    @pytest.mark.parametrize("value", [
+        0, 1, -1, 2047, 2048, -2048, -2049, 0x7FFF_FFFF, 0x8000_0000,
+        -(1 << 31), (1 << 31), 0xDEAD_BEEF_CAFE_F00D, (1 << 63) - 1,
+        -(1 << 63), MASK64,
+    ])
+    def test_li_edge_values(self, value):
+        assert self._interpret(li_sequence("a0", value)) == value & MASK64
+
+
+class TestExpansions:
+    def test_is_pseudo(self):
+        assert is_pseudo("li") and is_pseudo("ret") and is_pseudo("bnez")
+        assert not is_pseudo("addi") and not is_pseudo("vadd.vv")
+
+    def test_mv(self):
+        assert expand_simple("mv", "a0", "a1") == \
+            [("addi", ["a0", "a1", "0"])]
+
+    def test_not(self):
+        assert expand_simple("not", "a0", "a1") == \
+            [("xori", ["a0", "a1", "-1"])]
+
+    def test_neg(self):
+        assert expand_simple("neg", "a0", "a1") == \
+            [("sub", ["a0", "zero", "a1"])]
+
+    def test_seqz(self):
+        assert expand_simple("seqz", "a0", "a1") == \
+            [("sltiu", ["a0", "a1", "1"])]
+
+    def test_beqz(self):
+        assert expand_simple("beqz", "a0", "label") == \
+            [("beq", ["a0", "zero", "label"])]
+
+    def test_blez_swaps(self):
+        assert expand_simple("blez", "a0", "label") == \
+            [("bge", ["zero", "a0", "label"])]
+
+    def test_bgt_swaps(self):
+        assert expand_simple("bgt", "a0", "a1", "label") == \
+            [("blt", ["a1", "a0", "label"])]
+
+    def test_j(self):
+        assert expand_simple("j", "label") == [("jal", ["zero", "label"])]
+
+    def test_ret(self):
+        assert expand_simple("ret") == [("jalr", ["zero", "0(ra)"])]
+
+    def test_call(self):
+        assert expand_simple("call", "fn") == [("jal", ["ra", "fn"])]
+
+    def test_la_two_instructions(self):
+        assert expand_simple("la", "a0", "symbol") == \
+            [("la.hi", ["a0", "symbol"]), ("la.lo", ["a0", "symbol"])]
+
+    def test_fmv_d(self):
+        assert expand_simple("fmv.d", "fa0", "fa1") == \
+            [("fsgnj.d", ["fa0", "fa1", "fa1"])]
+
+    def test_fneg_d(self):
+        assert expand_simple("fneg.d", "fa0", "fa1") == \
+            [("fsgnjn.d", ["fa0", "fa1", "fa1"])]
+
+    def test_csrr(self):
+        assert expand_simple("csrr", "a0", "mhartid") == \
+            [("csrrs", ["a0", "mhartid", "zero"])]
+
+    def test_rdcycle(self):
+        assert expand_simple("rdcycle", "a0") == \
+            [("csrrs", ["a0", "cycle", "zero"])]
+
+    def test_li_rejects_symbol(self):
+        with pytest.raises(PseudoError):
+            expand("li", ["a0", "some_label"], resolve_const)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(PseudoError):
+            expand_simple("mv", "a0")
+
+    def test_unknown_pseudo(self):
+        with pytest.raises(PseudoError):
+            expand_simple("frobnicate", "a0")

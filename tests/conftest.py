@@ -1,0 +1,46 @@
+"""Shared test helpers: assemble-and-run harnesses for tiny programs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.assembler import assemble
+from repro.soc.memory import SparseMemory
+from repro.spike.hart import Hart
+
+
+TEXT_BASE = 0x8000_0000
+
+
+def make_hart(source: str, vlen_bits: int = 256, hart_id: int = 0) -> Hart:
+    """Assemble ``source`` (raw body; no prolog added), load it, and
+    return a hart reset to the entry point."""
+    program = assemble(source)
+    memory = SparseMemory()
+    program.load_into(memory)
+    hart = Hart(hart_id, memory, vlen_bits=vlen_bits, reset_pc=program.entry)
+    hart.program_symbols = program.symbols  # type: ignore[attr-defined]
+    return hart
+
+
+def run_steps(hart: Hart, count: int) -> None:
+    """Step a hart ``count`` times."""
+    for _ in range(count):
+        hart.step()
+
+
+def run_until_ebreak(hart: Hart, max_steps: int = 100_000) -> int:
+    """Step until an ``ebreak``; returns the number of steps executed."""
+    from repro.spike.hart import Breakpoint
+
+    for step_count in range(max_steps):
+        try:
+            hart.step()
+        except Breakpoint:
+            return step_count
+    raise AssertionError(f"no ebreak within {max_steps} steps")
+
+
+@pytest.fixture
+def memory() -> SparseMemory:
+    return SparseMemory()

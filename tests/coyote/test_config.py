@@ -1,0 +1,63 @@
+"""Tests for SimulationConfig."""
+
+import pytest
+
+from repro.coyote.config import SimulationConfig
+from repro.spike.simulator import L1Config
+
+
+class TestForCores:
+    def test_small_counts_single_tile(self):
+        for cores in (1, 2, 4):
+            config = SimulationConfig.for_cores(cores)
+            assert config.num_cores == cores
+            assert config.memhier.num_tiles == 1
+
+    def test_eight_cores_one_tile(self):
+        config = SimulationConfig.for_cores(8)
+        assert config.memhier.num_tiles == 1
+        assert config.memhier.cores_per_tile == 8
+
+    def test_large_counts_use_tiles(self):
+        config = SimulationConfig.for_cores(128)
+        assert config.memhier.num_tiles == 16
+        assert config.num_cores == 128
+
+    def test_non_tileable_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.for_cores(12)
+
+    def test_non_power_of_two_tiles_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.for_cores(24)  # 3 tiles
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.for_cores(0)
+
+    def test_memhier_overrides(self):
+        config = SimulationConfig.for_cores(
+            8, l2_mode="private", mapping_policy="page-to-bank",
+            noc_latency=12)
+        assert config.memhier.l2_mode == "private"
+        assert config.memhier.mapping_policy == "page-to-bank"
+        assert config.memhier.noc_latency == 12
+
+    def test_config_level_overrides(self):
+        config = SimulationConfig.for_cores(8, vlen_bits=1024,
+                                            trace_misses=True)
+        assert config.vlen_bits == 1024 and config.trace_misses
+
+
+class TestValidation:
+    def test_bad_vlen(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.for_cores(1, vlen_bits=100)
+
+    def test_line_size_mismatch(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(l1=L1Config(line_bytes=32))
+
+    def test_bad_max_cycles(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.for_cores(1, max_cycles=0)

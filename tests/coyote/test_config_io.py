@@ -1,0 +1,61 @@
+"""Tests for configuration serialisation and the CLI config flags."""
+
+import json
+
+import pytest
+
+from repro.coyote.cli import main as cli_main
+from repro.coyote.config import SimulationConfig
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        config = SimulationConfig.for_cores(
+            16, l2_mode="private", mapping_policy="page-to-bank",
+            noc_kind="mesh", vlen_bits=1024, l3_enable=True)
+        rebuilt = SimulationConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_save_load(self, tmp_path):
+        config = SimulationConfig.for_cores(8, mem_latency=250)
+        path = config.save(tmp_path / "config.json")
+        loaded = SimulationConfig.load(path)
+        assert loaded == config
+        assert loaded.memhier.mem_latency == 250
+
+    def test_file_is_readable_json(self, tmp_path):
+        config = SimulationConfig.for_cores(4)
+        path = config.save(tmp_path / "config.json")
+        data = json.loads(path.read_text())
+        assert data["memhier"]["cores_per_tile"] == 4
+
+    def test_unknown_key_rejected(self):
+        data = SimulationConfig.for_cores(1).to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError):
+            SimulationConfig.from_dict(data)
+
+    def test_invalid_values_rejected_on_load(self):
+        data = SimulationConfig.for_cores(1).to_dict()
+        data["vlen_bits"] = 100
+        with pytest.raises(ValueError):
+            SimulationConfig.from_dict(data)
+
+
+class TestCliConfigFlags:
+    def test_save_then_load(self, tmp_path, capsys):
+        path = str(tmp_path / "c.json")
+        assert cli_main(["--kernel", "vector-axpy", "--cores", "2",
+                         "--size", "16", "--save-config", path]) == 0
+        assert cli_main(["--kernel", "vector-axpy", "--size", "16",
+                         "--config", path]) == 0
+        out = capsys.readouterr().out
+        assert "cores                : 2" in out
+
+    def test_config_file_wins_over_flags(self, tmp_path, capsys):
+        path = str(tmp_path / "c.json")
+        SimulationConfig.for_cores(4).save(path)
+        assert cli_main(["--kernel", "vector-axpy", "--size", "16",
+                         "--cores", "8", "--config", path]) == 0
+        out = capsys.readouterr().out
+        assert "cores                : 4" in out

@@ -1,0 +1,192 @@
+"""Tests for the Coyote orchestrator: stalls, wakeups, end conditions."""
+
+import pytest
+
+from repro.assembler import assemble
+from repro.coyote.config import SimulationConfig
+from repro.coyote.orchestrator import Orchestrator, SimulationError
+
+
+def run_program(source: str, cores: int = 1, **config_overrides):
+    config = SimulationConfig.for_cores(cores, **config_overrides)
+    orchestrator = Orchestrator(config, assemble(source))
+    return orchestrator.run(), orchestrator
+
+
+EXIT_TAIL = """
+    li a0, 1
+    la t6, tohost
+    sd a0, 0(t6)
+halt:
+    j halt
+.data
+.align 3
+tohost: .dword 0
+"""
+
+
+class TestBasicExecution:
+    def test_trivial_program_completes(self):
+        results, _orch = run_program(f""".text
+_start:
+    nop
+    nop
+{EXIT_TAIL}
+""")
+        assert results.exit_codes == {0: 0}
+        assert results.instructions >= 4
+
+    def test_cycles_advance_with_memory_latency(self):
+        results, _orch = run_program(f""".text
+_start:
+    la a1, cell
+    ld a2, 0(a1)
+    add a3, a2, a2
+{EXIT_TAIL}
+cell: .dword 7
+""")
+        # At minimum one full memory round trip for the ifetch miss.
+        assert results.cycles > 100
+
+    def test_raw_stall_recorded(self):
+        results, _orch = run_program(f""".text
+_start:
+    la a1, cell
+    ld a2, 0(a1)     # L1 miss
+    add a3, a2, a2   # RAW on a2 -> stall until fill
+{EXIT_TAIL}
+cell: .dword 7
+""")
+        assert results.raw_stall_cycles > 50
+
+    def test_independent_work_hides_latency(self):
+        """Instructions not touching the loading register keep issuing."""
+        dependent, _ = run_program(f""".text
+_start:
+    la a1, cell
+    ld a2, 0(a1)
+    add a3, a2, a2
+    addi a4, zero, 1
+    addi a4, a4, 1
+    addi a4, a4, 1
+    addi a4, a4, 1
+{EXIT_TAIL}
+cell: .dword 7
+""")
+        independent, _ = run_program(f""".text
+_start:
+    la a1, cell
+    ld a2, 0(a1)
+    addi a4, zero, 1
+    addi a4, a4, 1
+    addi a4, a4, 1
+    addi a4, a4, 1
+    add a3, a2, a2
+{EXIT_TAIL}
+cell: .dword 7
+""")
+        assert independent.cycles <= dependent.cycles
+
+    def test_ecall_halts_with_a0(self):
+        results, _orch = run_program(""".text
+_start:
+    li a0, 3
+    ecall
+.data
+tohost: .dword 0
+""")
+        assert results.exit_codes == {0: 3}
+
+    def test_store_miss_does_not_stall(self):
+        """Store misses generate hierarchy traffic but no RAW stall."""
+        results, orch = run_program(f""".text
+_start:
+    la a1, cell
+    sd a1, 0(a1)
+    addi a2, zero, 1
+    addi a2, a2, 1
+{EXIT_TAIL}
+cell: .dword 0
+""")
+        store_submitted = results.hierarchy_value(
+            "memhier.requests_submitted")
+        assert store_submitted >= 2  # ifetch + store at least
+
+
+class TestMulticore:
+    PROGRAM = f""".text
+_start:
+    csrr a0, mhartid
+    la   a1, slots
+    slli a2, a0, 3
+    add  a1, a1, a2
+    addi a3, a0, 100
+    sd   a3, 0(a1)
+{EXIT_TAIL}
+slots: .zero 64
+"""
+
+    def test_all_cores_complete(self):
+        results, orch = run_program(self.PROGRAM, cores=4)
+        assert set(results.exit_codes) == {0, 1, 2, 3}
+        memory = orch.machine.memory
+        base = orch.program.symbols["slots"]
+        assert [memory.load_int(base + 8 * i, 8) for i in range(4)] == \
+            [100, 101, 102, 103]
+
+    def test_per_core_stats(self):
+        results, _orch = run_program(self.PROGRAM, cores=2)
+        assert len(results.cores) == 2
+        assert all(core.instructions > 0 for core in results.cores)
+        assert all(core.halt_cycle is not None for core in results.cores)
+
+
+class TestEndConditions:
+    def test_cycle_budget(self):
+        source = """.text
+_start:
+spin:
+    j spin
+.data
+tohost: .dword 0
+"""
+        config = SimulationConfig.for_cores(1, max_cycles=5000)
+        orchestrator = Orchestrator(config, assemble(source))
+        with pytest.raises(SimulationError):
+            orchestrator.run()
+
+    def test_illegal_instruction_reported(self):
+        source = """.text
+_start:
+    .word 0
+.data
+tohost: .dword 0
+"""
+        config = SimulationConfig.for_cores(1)
+        orchestrator = Orchestrator(config, assemble(source))
+        with pytest.raises(SimulationError):
+            orchestrator.run()
+
+
+class TestHierarchyCoupling:
+    def test_l1_misses_reach_hierarchy(self):
+        results, _orch = run_program(f""".text
+_start:
+    la a1, cell
+    ld a2, 0(a1)
+{EXIT_TAIL}
+.align 6
+cell: .dword 1
+""")
+        submitted = results.hierarchy_value("memhier.requests_submitted")
+        completed = results.hierarchy_value("memhier.requests_completed")
+        assert submitted == completed
+        assert submitted >= 2  # at least one ifetch + one data load
+
+    def test_events_fired(self):
+        results, _orch = run_program(f""".text
+_start:
+    nop
+{EXIT_TAIL}
+""")
+        assert results.events_fired > 0

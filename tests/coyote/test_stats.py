@@ -1,0 +1,102 @@
+"""Tests for SimulationResults derived metrics (synthetic data)."""
+
+import pytest
+
+from repro.coyote.stats import CoreStats, SimulationResults
+from repro.spike.l1cache import L1Stats
+from repro.sparta.statistics import StatSample
+
+
+def make_core(core_id=0, instructions=100, raw=10, fetch=5,
+              l1d_reads=80, l1d_read_misses=8):
+    l1d = L1Stats(reads=l1d_reads, writes=20,
+                  read_misses=l1d_read_misses, write_misses=2)
+    l1i = L1Stats(reads=instructions, read_misses=4)
+    return CoreStats(core_id=core_id, instructions=instructions,
+                     raw_stall_cycles=raw, fetch_stall_cycles=fetch,
+                     halt_cycle=500, exit_code=0, l1i=l1i, l1d=l1d)
+
+
+def make_results(num_cores=2, cycles=1000, wall=0.5):
+    cores = [make_core(core_id=i) for i in range(num_cores)]
+    samples = [
+        StatSample("memhier.tile0.bank0", "requests", 40),
+        StatSample("memhier.tile0.bank1", "requests", 60),
+        StatSample("memhier", "requests_submitted", 100),
+    ]
+    return SimulationResults(
+        cycles=cycles, instructions=num_cores * 100, wall_seconds=wall,
+        cores=cores, hierarchy_samples=samples, console="",
+        exit_codes={i: 0 for i in range(num_cores)})
+
+
+class TestDerivedMetrics:
+    def test_host_mips(self):
+        results = make_results(num_cores=2, wall=0.5)
+        assert results.host_mips == pytest.approx(200 / 0.5 / 1e6)
+
+    def test_host_mips_zero_wall(self):
+        results = make_results(wall=0.0)
+        assert results.host_mips == 0.0
+
+    def test_ipc(self):
+        results = make_results(num_cores=2, cycles=1000)
+        assert results.ipc == pytest.approx(0.2)
+
+    def test_stall_totals(self):
+        results = make_results(num_cores=3)
+        assert results.raw_stall_cycles == 30
+        assert results.fetch_stall_cycles == 15
+
+    def test_l1d_miss_rate(self):
+        results = make_results(num_cores=1)
+        # (8 + 2) misses / (80 + 20) accesses.
+        assert results.l1d_miss_rate() == pytest.approx(0.1)
+
+    def test_l1i_miss_rate(self):
+        results = make_results(num_cores=1)
+        assert results.l1i_miss_rate() == pytest.approx(4 / 100)
+
+    def test_miss_rates_empty(self):
+        results = make_results(num_cores=0)
+        assert results.l1d_miss_rate() == 0.0
+        assert results.l1i_miss_rate() == 0.0
+
+
+class TestLookups:
+    def test_hierarchy_value(self):
+        results = make_results()
+        assert results.hierarchy_value(
+            "memhier.requests_submitted") == 100
+
+    def test_hierarchy_value_missing(self):
+        results = make_results()
+        with pytest.raises(KeyError):
+            results.hierarchy_value("memhier.nope")
+
+    def test_bank_utilisation(self):
+        results = make_results()
+        assert results.bank_utilisation() == {"bank0": 40, "bank1": 60}
+
+    def test_succeeded(self):
+        results = make_results(num_cores=2)
+        assert results.succeeded()
+        results.exit_codes[1] = 3
+        assert not results.succeeded()
+
+    def test_succeeded_requires_all_cores(self):
+        results = make_results(num_cores=2)
+        del results.exit_codes[1]
+        assert not results.succeeded()
+
+
+class TestL1Stats:
+    def test_properties(self):
+        stats = L1Stats(reads=10, writes=5, read_misses=2,
+                        write_misses=1)
+        assert stats.accesses == 15
+        assert stats.misses == 3
+        assert stats.miss_rate == pytest.approx(0.2)
+
+    def test_miss_rate_no_accesses(self):
+        assert L1Stats().miss_rate == 0.0

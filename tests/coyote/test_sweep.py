@@ -1,0 +1,69 @@
+"""Tests for the design-space sweep utility."""
+
+import pytest
+
+from repro.coyote.sweep import Sweep
+from repro.kernels import vector_axpy
+
+
+def make_workload():
+    return vector_axpy(length=32, num_cores=2)
+
+
+class TestSweep:
+    def test_cartesian_points(self):
+        sweep = Sweep(base_cores=2,
+                      axes={"l2_mode": ["shared", "private"],
+                            "noc_latency": [2, 6]})
+        table = sweep.run(make_workload)
+        assert len(table.points) == 4
+        settings = [tuple(point.settings.values())
+                    for point in table.points]
+        assert len(set(settings)) == 4
+
+    def test_points_verified(self):
+        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 12]})
+        table = sweep.run(make_workload)
+        assert all(point.verified for point in table.points)
+
+    def test_best_minimises_cycles(self):
+        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 24]})
+        table = sweep.run(make_workload)
+        assert table.best("cycles").settings["noc_latency"] == 2
+
+    def test_best_maximises_when_asked(self):
+        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 24]})
+        table = sweep.run(make_workload)
+        best = table.best("cycles", minimise=False)
+        assert best.settings["noc_latency"] == 24
+
+    def test_metric_resolves_methods(self):
+        sweep = Sweep(base_cores=2, axes={"noc_latency": [6]})
+        table = sweep.run(make_workload)
+        assert 0.0 <= table.points[0].metric("l1d_miss_rate") <= 1.0
+
+    def test_format_table(self):
+        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 6]})
+        table = sweep.run(make_workload)
+        text = table.format(metrics=("cycles", "l1d_miss_rate"))
+        assert "noc_latency" in text and "cycles" in text
+        assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+    def test_base_overrides_apply(self):
+        sweep = Sweep(base_cores=2, axes={"noc_latency": [6]},
+                      mem_latency=200)
+        table = sweep.run(make_workload)
+        slow = table.points[0].results.cycles
+        fast = Sweep(base_cores=2, axes={"noc_latency": [6]},
+                     mem_latency=50).run(make_workload).points[0] \
+            .results.cycles
+        assert slow > fast
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            Sweep(base_cores=2, axes={})
+
+    def test_empty_table_best_rejected(self):
+        from repro.coyote.sweep import SweepTable
+        with pytest.raises(ValueError):
+            SweepTable(axes={}).best()

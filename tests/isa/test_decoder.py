@@ -1,0 +1,247 @@
+"""Tests for the instruction decoder (via assembler-encoded words)."""
+
+import pytest
+
+from repro.assembler.encoder import EncodeContext, encode
+from repro.isa.decoder import IllegalInstruction, decode
+
+
+def enc(mnemonic, *operands, pc=0x8000_0000, symbols=None):
+    symbols = symbols or {}
+
+    def resolve(text):
+        text = text.strip()
+        try:
+            return int(text, 0)
+        except ValueError:
+            return symbols[text]
+
+    return encode(mnemonic, list(operands), EncodeContext(pc=pc,
+                                                          resolve=resolve))
+
+
+def dec(mnemonic, *operands, **kwargs):
+    return decode(enc(mnemonic, *operands, **kwargs))
+
+
+class TestScalarInteger:
+    def test_addi(self):
+        instr = dec("addi", "a0", "a1", "-5")
+        assert instr.mnemonic == "addi"
+        assert instr.rd == 10 and instr.rs1 == 11 and instr.imm == -5
+
+    def test_add_sources(self):
+        instr = dec("add", "t0", "t1", "t2")
+        assert instr.srcs == (("x", 6), ("x", 7))
+        assert instr.dests == (("x", 5),)
+
+    def test_x0_not_tracked(self):
+        instr = dec("add", "zero", "zero", "t2")
+        assert instr.dests == ()
+        assert instr.srcs == (("x", 7),)
+
+    def test_shift_imm(self):
+        instr = dec("srai", "a0", "a0", "63")
+        assert instr.mnemonic == "srai" and instr.shamt == 63
+
+    def test_word_shift(self):
+        instr = dec("sraiw", "a0", "a0", "31")
+        assert instr.mnemonic == "sraiw" and instr.shamt == 31
+
+    def test_mul_family(self):
+        for mnemonic in ("mul", "mulh", "mulhsu", "mulhu", "div", "divu",
+                         "rem", "remu", "mulw", "divw", "remuw"):
+            instr = dec(mnemonic, "a0", "a1", "a2")
+            assert instr.mnemonic == mnemonic
+
+    def test_lui(self):
+        instr = dec("lui", "gp", "0x12345")
+        assert instr.imm == 0x12345 << 12
+
+    def test_lui_sign_extends(self):
+        instr = decode(enc("lui", "gp", "0x80000"))
+        assert instr.imm == -(1 << 31)
+
+
+class TestMemory:
+    def test_load_flags(self):
+        instr = dec("ld", "a0", "8(sp)")
+        assert instr.is_load and not instr.is_store
+        assert instr.imm == 8 and instr.rs1 == 2
+
+    def test_store_flags(self):
+        instr = dec("sd", "a0", "-16(sp)")
+        assert instr.is_store and not instr.is_load
+        assert instr.imm == -16
+        assert instr.dests == ()
+        assert set(instr.srcs) == {("x", 2), ("x", 10)}
+
+    def test_all_load_widths(self):
+        for mnemonic in ("lb", "lh", "lw", "ld", "lbu", "lhu", "lwu"):
+            assert dec(mnemonic, "a0", "0(a1)").mnemonic == mnemonic
+
+    def test_load_dest_tracked(self):
+        instr = dec("lw", "s3", "0(a0)")
+        assert instr.dests == (("x", 19),)
+
+
+class TestControlFlow:
+    def test_branch(self):
+        # Branch targets are absolute; the encoder makes them PC-relative.
+        instr = dec("bne", "a0", "a1", "target",
+                    symbols={"target": 0x8000_0040})
+        assert instr.is_branch and instr.imm == 64
+
+    def test_branch_negative(self):
+        instr = dec("beq", "a0", "a1", "target",
+                    symbols={"target": 0x8000_0000 - 64})
+        assert instr.imm == -64
+
+    def test_jal(self):
+        instr = dec("jal", "ra", "target",
+                    symbols={"target": 0x8000_0800})
+        assert instr.is_jump and instr.rd == 1 and instr.imm == 2048
+
+    def test_jalr(self):
+        instr = dec("jalr", "ra", "0(t0)")
+        assert instr.is_jump and instr.rs1 == 5
+
+
+class TestSystem:
+    def test_ecall_ebreak(self):
+        assert dec("ecall").is_system
+        assert dec("ebreak").is_system
+
+    def test_csr_register_form(self):
+        instr = dec("csrrw", "a0", "mhartid", "a1")
+        assert instr.csr == 0xF14
+        assert instr.srcs == (("x", 11),)
+
+    def test_csr_immediate_form(self):
+        instr = dec("csrrwi", "a0", "0x300", "7")
+        assert instr.imm == 7 and instr.srcs == ()
+
+    def test_fence(self):
+        assert dec("fence").mnemonic == "fence"
+
+
+class TestAtomics:
+    def test_lr(self):
+        instr = dec("lr.d", "a0", "(a1)")
+        assert instr.is_load and instr.is_amo
+
+    def test_sc(self):
+        instr = dec("sc.d", "a0", "a2", "(a1)")
+        assert instr.is_store and instr.is_amo and not instr.is_load
+
+    def test_amoadd(self):
+        instr = dec("amoadd.w", "a0", "a2", "(a1)")
+        assert instr.is_load and instr.is_store and instr.is_amo
+
+    def test_all_amos_decode(self):
+        for base in ("amoswap", "amoadd", "amoxor", "amoand", "amoor",
+                     "amomin", "amomax", "amominu", "amomaxu"):
+            for size in ("w", "d"):
+                assert dec(f"{base}.{size}", "a0", "a2",
+                           "(a1)").mnemonic == f"{base}.{size}"
+
+
+class TestFloatingPoint:
+    def test_fld_dest_class(self):
+        instr = dec("fld", "fa0", "0(a0)")
+        assert instr.dests == (("f", 10),)
+        assert instr.is_load and instr.is_fp
+
+    def test_fsd_srcs(self):
+        instr = dec("fsd", "fa0", "0(a0)")
+        assert ("f", 10) in instr.srcs and ("x", 10) in instr.srcs
+
+    def test_fmadd(self):
+        instr = dec("fmadd.d", "fa0", "fa1", "fa2", "fa3")
+        assert instr.mnemonic == "fmadd.d"
+        assert instr.srcs == (("f", 11), ("f", 12), ("f", 13))
+
+    def test_fp_compare_dest_is_int(self):
+        instr = dec("flt.d", "a0", "fa0", "fa1")
+        assert instr.dests == (("x", 10),)
+
+    def test_fcvt_directions(self):
+        to_int = dec("fcvt.l.d", "a0", "fa0")
+        assert to_int.dests == (("x", 10),)
+        to_fp = dec("fcvt.d.l", "fa0", "a0")
+        assert to_fp.dests == (("f", 10),)
+
+    def test_fmv_bit_moves(self):
+        assert dec("fmv.x.d", "a0", "fa0").mnemonic == "fmv.x.d"
+        assert dec("fmv.d.x", "fa0", "a0").mnemonic == "fmv.d.x"
+
+
+class TestVector:
+    def test_vsetvli(self):
+        instr = dec("vsetvli", "t0", "a0", "e64", "m1", "ta", "ma")
+        assert instr.mnemonic == "vsetvli" and instr.is_vector
+
+    def test_vadd_vv(self):
+        instr = dec("vadd.vv", "v1", "v2", "v3")
+        assert instr.srcs == (("v", 2), ("v", 3))
+        assert instr.dests == (("v", 1),)
+
+    def test_vadd_vx(self):
+        instr = dec("vadd.vx", "v1", "v2", "a0")
+        assert ("x", 10) in instr.srcs
+
+    def test_vadd_vi(self):
+        instr = dec("vadd.vi", "v1", "v2", "-9")
+        assert instr.imm == -9
+
+    def test_masked_op_reads_v0(self):
+        instr = dec("vadd.vv", "v1", "v2", "v3", "v0.t")
+        assert instr.vm == 0 and ("v", 0) in instr.srcs
+
+    def test_unit_stride_load(self):
+        instr = dec("vle64.v", "v4", "(a0)")
+        assert instr.is_vector_mem and instr.is_load and instr.eew == 64
+        assert instr.dests == (("v", 4),)
+
+    def test_indexed_load_reads_index_vector(self):
+        instr = dec("vluxei64.v", "v4", "(a0)", "v8")
+        assert ("v", 8) in instr.srcs and instr.mop == 0b01
+
+    def test_store_data_is_source(self):
+        instr = dec("vse64.v", "v4", "(a0)")
+        assert ("v", 4) in instr.srcs and instr.dests == ()
+
+    def test_strided_load_reads_stride_reg(self):
+        instr = dec("vlse64.v", "v4", "(a0)", "a1")
+        assert ("x", 11) in instr.srcs and instr.mop == 0b10
+
+    def test_macc_vd_is_source(self):
+        instr = dec("vfmacc.vf", "v8", "fa0", "v9")
+        assert ("v", 8) in instr.srcs and instr.dests == (("v", 8),)
+
+    def test_reduction(self):
+        instr = dec("vfredosum.vs", "v5", "v4", "v5")
+        assert instr.mnemonic == "vfredosum.vs"
+
+    def test_vid(self):
+        instr = dec("vid.v", "v3")
+        assert instr.dests == (("v", 3),)
+
+
+class TestIllegal:
+    def test_compressed_rejected(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0x0001)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0x0000_007F | 0x7F)
+
+    def test_bad_funct(self):
+        # OP with funct7=0x7F is not defined.
+        with pytest.raises(IllegalInstruction):
+            decode((0x7F << 25) | 0x33)
+
+    def test_zero_word(self):
+        with pytest.raises(IllegalInstruction):
+            decode(0)

@@ -1,0 +1,100 @@
+"""Disassembler tests, including assemble->decode->disassemble->assemble
+round trips."""
+
+import pytest
+
+from repro.assembler.encoder import EncodeContext, encode
+from repro.isa.decoder import decode
+from repro.isa.disasm import disassemble, disassemble_word
+
+
+def enc(mnemonic, *operands):
+    def resolve(text):
+        return int(text, 0)
+    return encode(mnemonic, list(operands), EncodeContext(pc=0,
+                                                          resolve=resolve))
+
+
+# Statements whose disassembly should re-encode to the same word.
+ROUNDTRIP_CASES = [
+    ("addi", "a0", "a1", "-5"),
+    ("add", "t0", "t1", "t2"),
+    ("sub", "s0", "s1", "s2"),
+    ("slli", "a0", "a0", "17"),
+    ("sraiw", "a1", "a2", "5"),
+    ("lui", "gp", "0x12345"),
+    ("ld", "a0", "8(sp)"),
+    ("sd", "ra", "-16(sp)"),
+    ("lbu", "t0", "0(t1)"),
+    ("mul", "a0", "a1", "a2"),
+    ("divu", "a3", "a4", "a5"),
+    ("csrrw", "a0", "mhartid", "a1"),
+    ("csrrsi", "zero", "mstatus", "8"),
+    ("lr.d", "a0", "(a1)"),
+    ("sc.w", "a0", "a2", "(a1)"),
+    ("amoadd.d", "a0", "a2", "(a1)"),
+    ("fld", "fa0", "24(sp)"),
+    ("fsd", "fs1", "0(a0)"),
+    ("fadd.d", "fa0", "fa1", "fa2"),
+    ("fmadd.d", "fa0", "fa1", "fa2", "fa3"),
+    ("fsqrt.d", "fa0", "fa1"),
+    ("feq.d", "a0", "fa0", "fa1"),
+    ("fcvt.d.l", "fa0", "a0"),
+    ("fcvt.l.d", "a0", "fa0"),
+    ("fmv.x.d", "a0", "fa0"),
+    ("fmv.d.x", "fa0", "a0"),
+    ("vsetvli", "t0", "a0", "e64", "m1", "ta", "ma"),
+    ("vsetvl", "t0", "a0", "a1"),
+    ("vadd.vv", "v1", "v2", "v3"),
+    ("vadd.vx", "v1", "v2", "a0"),
+    ("vadd.vi", "v1", "v2", "-9"),
+    ("vsll.vi", "v1", "v2", "3"),
+    ("vmul.vx", "v4", "v5", "t0"),
+    ("vfmacc.vf", "v8", "fa1", "v9"),
+    ("vfmacc.vv", "v8", "v1", "v9"),
+    ("vmacc.vv", "v8", "v1", "v9"),
+    ("vfadd.vv", "v1", "v2", "v3"),
+    ("vfmul.vf", "v1", "v2", "fa0"),
+    ("vfredosum.vs", "v5", "v4", "v5"),
+    ("vredsum.vs", "v5", "v4", "v5"),
+    ("vle64.v", "v1", "(a0)"),
+    ("vse32.v", "v1", "(a0)"),
+    ("vlse64.v", "v1", "(a0)", "a1"),
+    ("vluxei64.v", "v1", "(a0)", "v2"),
+    ("vsuxei32.v", "v1", "(a0)", "v2"),
+    ("vmv.v.x", "v1", "a0"),
+    ("vmv.v.i", "v1", "-3"),
+    ("vmv.x.s", "a0", "v1"),
+    ("vfmv.f.s", "fa0", "v1"),
+    ("vfmv.v.f", "v1", "fa0"),
+    ("vid.v", "v1"),
+    ("vadd.vv", "v1", "v2", "v3", "v0.t"),
+    ("vle64.v", "v1", "(a0)", "v0.t"),
+]
+
+
+@pytest.mark.parametrize("case", ROUNDTRIP_CASES,
+                         ids=lambda case: " ".join(case))
+def test_roundtrip(case):
+    word = enc(*case)
+    text = disassemble(decode(word))
+    mnemonic, _, operand_text = text.partition(" ")
+    from repro.assembler.lexer import split_operands
+    operands = split_operands(operand_text)
+    reencoded = encode(mnemonic, operands,
+                       EncodeContext(pc=0, resolve=lambda t: int(t, 0)))
+    assert reencoded == word, f"{case} -> {text!r} -> {reencoded:#010x}"
+
+
+def test_fixed_mnemonics():
+    assert disassemble_word(0x0000_0073) == "ecall"
+    assert disassemble_word(0x0010_0073) == "ebreak"
+
+
+def test_nop_prints_as_addi():
+    assert disassemble_word(0x0000_0013) == "addi zero, zero, 0"
+
+
+def test_branch_prints_offset():
+    word = enc("beq", "a0", "a1", "0x40")  # absolute 0x40, pc=0
+    assert disassemble_word(word) == "beq a0, a1, 64"

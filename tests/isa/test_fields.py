@@ -1,0 +1,118 @@
+"""Tests for raw instruction field packing/extraction."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import fields as f
+from repro.isa import opcodes as op
+
+
+class TestExtraction:
+    def test_opcode(self):
+        assert f.opcode(0x0000_0033) == 0x33
+
+    def test_registers(self):
+        # add x5, x6, x7 == funct7=0 rs2=7 rs1=6 funct3=0 rd=5 op=0x33
+        word = f.encode_r(op.OP, 5, 0, 6, 7, 0)
+        assert f.rd(word) == 5
+        assert f.rs1(word) == 6
+        assert f.rs2(word) == 7
+        assert f.funct3(word) == 0
+        assert f.funct7(word) == 0
+
+    def test_imm_i_positive(self):
+        word = f.encode_i(op.OP_IMM, 1, 0, 2, 2047)
+        assert f.imm_i(word) == 2047
+
+    def test_imm_i_negative(self):
+        word = f.encode_i(op.OP_IMM, 1, 0, 2, -2048)
+        assert f.imm_i(word) == -2048
+
+    def test_imm_u_sign(self):
+        word = f.encode_u(op.LUI, 1, 0x80000)
+        assert f.imm_u(word) == -(1 << 31)
+
+
+class TestRoundtrips:
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_i_type(self, imm):
+        word = f.encode_i(op.OP_IMM, 3, 0, 4, imm)
+        assert f.imm_i(word) == imm
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_s_type(self, imm):
+        word = f.encode_s(op.STORE, 3, 4, 5, imm)
+        assert f.imm_s(word) == imm
+        assert f.rs1(word) == 4
+        assert f.rs2(word) == 5
+
+    @given(st.integers(min_value=-2048, max_value=2047))
+    def test_b_type(self, imm_half):
+        offset = imm_half * 2
+        word = f.encode_b(op.BRANCH, 1, 2, 3, offset)
+        assert f.imm_b(word) == offset
+
+    @given(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    def test_u_type(self, imm20):
+        word = f.encode_u(op.LUI, 7, imm20)
+        assert f.imm_u(word) == imm20 << 12
+
+    @given(st.integers(min_value=-(1 << 19), max_value=(1 << 19) - 1))
+    def test_j_type(self, imm_half):
+        offset = imm_half * 2
+        word = f.encode_j(op.JAL, 1, offset)
+        assert f.imm_j(word) == offset
+
+    @given(st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=7),
+           st.integers(min_value=0, max_value=127))
+    def test_r_type_fields(self, rd, rs1, rs2, f3, f7):
+        word = f.encode_r(op.OP, rd, f3, rs1, rs2, f7)
+        assert (f.rd(word), f.rs1(word), f.rs2(word)) == (rd, rs1, rs2)
+        assert (f.funct3(word), f.funct7(word)) == (f3, f7)
+
+
+class TestVectorFields:
+    def test_vector_arith_fields(self):
+        word = f.encode_vector_arith(0x25, 1, 10, 11, 0b000, 12, op.OP_V)
+        assert f.funct6(word) == 0x25
+        assert f.vm(word) == 1
+        assert f.rs2(word) == 10
+        assert f.rs1(word) == 11
+        assert f.rd(word) == 12
+
+    def test_vector_mem_fields(self):
+        word = f.encode_vector_mem(0, 0b10, 0, 5, 6, 0b111, 7, op.LOAD_FP)
+        assert f.vmem_nf(word) == 0
+        assert f.vmem_mop(word) == 0b10
+        assert f.vm(word) == 0
+        assert f.vmem_width(word) == 0b111
+
+    def test_width_eew_mapping_bijective(self):
+        for code, eew in f.VMEM_WIDTH_TO_EEW.items():
+            assert f.EEW_TO_VMEM_WIDTH[eew] == code
+
+
+class TestEncodeValidation:
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            f.encode_r(op.OP, 32, 0, 0, 0, 0)
+
+    def test_i_imm_out_of_range(self):
+        with pytest.raises(ValueError):
+            f.encode_i(op.OP_IMM, 1, 0, 2, 2048)
+
+    def test_branch_odd_offset(self):
+        with pytest.raises(ValueError):
+            f.encode_b(op.BRANCH, 0, 1, 2, 3)
+
+    def test_branch_out_of_range(self):
+        with pytest.raises(ValueError):
+            f.encode_b(op.BRANCH, 0, 1, 2, 4096)
+
+    def test_jump_out_of_range(self):
+        with pytest.raises(ValueError):
+            f.encode_j(op.JAL, 1, 1 << 20)

@@ -1,0 +1,102 @@
+"""Tests for register-name and CSR-name resolution."""
+
+import pytest
+
+from repro.isa.csr import (
+    CSR_BY_NAME,
+    MHARTID,
+    READ_ONLY_CSRS,
+    VL,
+    csr_name,
+    parse_csr,
+)
+from repro.isa.registers import (
+    fp_reg_name,
+    int_reg_name,
+    parse_fp_reg,
+    parse_int_reg,
+    parse_vec_reg,
+    vec_reg_name,
+)
+
+
+class TestIntRegisters:
+    def test_numeric_names(self):
+        assert parse_int_reg("x0") == 0
+        assert parse_int_reg("x31") == 31
+
+    def test_abi_names(self):
+        assert parse_int_reg("zero") == 0
+        assert parse_int_reg("ra") == 1
+        assert parse_int_reg("sp") == 2
+        assert parse_int_reg("a0") == 10
+        assert parse_int_reg("t6") == 31
+
+    def test_fp_alias(self):
+        assert parse_int_reg("fp") == parse_int_reg("s0") == 8
+
+    def test_case_insensitive(self):
+        assert parse_int_reg("A0") == 10
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            parse_int_reg("x32")
+        with pytest.raises(ValueError):
+            parse_int_reg("rax")
+
+    def test_round_trip_all(self):
+        for index in range(32):
+            assert parse_int_reg(int_reg_name(index)) == index
+
+
+class TestFpVecRegisters:
+    def test_fp_round_trip(self):
+        for index in range(32):
+            assert parse_fp_reg(fp_reg_name(index)) == index
+            assert parse_fp_reg(f"f{index}") == index
+
+    def test_vec_round_trip(self):
+        for index in range(32):
+            assert parse_vec_reg(vec_reg_name(index)) == index
+
+    def test_vec_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_vec_reg("v32")
+        with pytest.raises(ValueError):
+            vec_reg_name(32)
+
+    def test_classes_disjoint(self):
+        with pytest.raises(ValueError):
+            parse_fp_reg("a0")
+        with pytest.raises(ValueError):
+            parse_int_reg("fa0")
+
+
+class TestCsrs:
+    def test_names_resolve(self):
+        assert parse_csr("mhartid") == MHARTID
+        assert parse_csr("vl") == VL
+
+    def test_numeric_form(self):
+        assert parse_csr("0xF14") == MHARTID
+        assert parse_csr("3860") == MHARTID
+
+    def test_numeric_out_of_range(self):
+        with pytest.raises(ValueError):
+            parse_csr("4096")
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            parse_csr("mfoobar")
+
+    def test_csr_name_lookup(self):
+        assert csr_name(MHARTID) == "mhartid"
+        assert csr_name(0x123) == "csr0x123"
+
+    def test_read_only_set_contents(self):
+        assert MHARTID in READ_ONLY_CSRS
+        assert VL in READ_ONLY_CSRS
+
+    def test_name_table_bijective(self):
+        addresses = list(CSR_BY_NAME.values())
+        assert len(addresses) == len(set(addresses))

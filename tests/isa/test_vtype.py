@@ -1,0 +1,88 @@
+"""Tests for the RVV vtype encoding and VLMAX arithmetic."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa.vtype import LMUL_CODES, SEW_CODES, VType, parse_vtype_tokens
+
+
+class TestEncodeDecode:
+    def test_default_encoding(self):
+        vt = VType(sew=64, lmul=Fraction(1))
+        decoded = VType.decode(vt.encode())
+        assert decoded.sew == 64 and decoded.lmul == Fraction(1)
+
+    def test_vill_round_trip(self):
+        vt = VType(vill=True)
+        assert VType.decode(vt.encode()).vill
+
+    def test_vill_is_msb(self):
+        assert VType(vill=True).encode() == 1 << 63
+
+    def test_tail_mask_bits(self):
+        vt = VType(sew=32, tail_agnostic=False, mask_agnostic=False)
+        decoded = VType.decode(vt.encode())
+        assert not decoded.tail_agnostic and not decoded.mask_agnostic
+
+    @given(st.sampled_from(sorted(SEW_CODES.values())),
+           st.sampled_from(sorted(LMUL_CODES.values())),
+           st.booleans(), st.booleans())
+    def test_round_trip_all(self, sew, lmul, ta, ma):
+        vt = VType(sew=sew, lmul=lmul, tail_agnostic=ta, mask_agnostic=ma)
+        assert VType.decode(vt.encode()) == vt
+
+    def test_invalid_sew_rejected(self):
+        with pytest.raises(ValueError):
+            VType(sew=128)
+
+    def test_decode_garbage_is_vill(self):
+        assert VType.decode(0b100).vill  # lmul code 0b100 is reserved
+
+
+class TestVlmax:
+    def test_basic(self):
+        assert VType(sew=64, lmul=Fraction(1)).vlmax(512) == 8
+
+    def test_lmul_scales(self):
+        assert VType(sew=64, lmul=Fraction(8)).vlmax(512) == 64
+
+    def test_fractional_lmul(self):
+        assert VType(sew=32, lmul=Fraction(1, 2)).vlmax(512) == 8
+
+    def test_vill_vlmax_zero(self):
+        assert VType(vill=True).vlmax(512) == 0
+
+    def test_register_group_size(self):
+        assert VType(sew=64, lmul=Fraction(4)).register_group_size() == 4
+        assert VType(sew=64,
+                     lmul=Fraction(1, 2)).register_group_size() == 1
+
+
+class TestParse:
+    def test_standard_tokens(self):
+        vt = parse_vtype_tokens(["e64", "m1", "ta", "ma"])
+        assert vt.sew == 64 and vt.lmul == Fraction(1)
+
+    def test_fractional_token(self):
+        assert parse_vtype_tokens(["e16", "mf4"]).lmul == Fraction(1, 4)
+
+    def test_tu_mu(self):
+        vt = parse_vtype_tokens(["e32", "m2", "tu", "mu"])
+        assert not vt.tail_agnostic and not vt.mask_agnostic
+
+    def test_missing_sew(self):
+        with pytest.raises(ValueError):
+            parse_vtype_tokens(["m1", "ta"])
+
+    def test_unknown_token(self):
+        with pytest.raises(ValueError):
+            parse_vtype_tokens(["e64", "m1", "bogus"])
+
+    def test_describe_round_trips(self):
+        vt = VType(sew=32, lmul=Fraction(2), tail_agnostic=True,
+                   mask_agnostic=False)
+        reparsed = parse_vtype_tokens(vt.describe().split(","))
+        assert reparsed == vt

@@ -1,0 +1,122 @@
+"""Tests for workload data generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernels.data import (
+    banded_csr,
+    clustered_csr,
+    dense_matrix,
+    dense_vector,
+    random_csr,
+)
+
+
+class TestDense:
+    def test_shape_and_range(self):
+        matrix = dense_matrix(8, 4, seed=1)
+        assert matrix.shape == (8, 4)
+        assert np.all(np.abs(matrix) <= 1.0)
+
+    def test_reproducible(self):
+        assert np.array_equal(dense_matrix(4, 4, seed=7),
+                              dense_matrix(4, 4, seed=7))
+
+    def test_seeds_differ(self):
+        assert not np.array_equal(dense_matrix(4, 4, seed=1),
+                                  dense_matrix(4, 4, seed=2))
+
+    def test_vector(self):
+        assert dense_vector(10, seed=3).shape == (10,)
+
+
+class TestRandomCsr:
+    def test_structure(self):
+        matrix = random_csr(8, 8, 3, seed=0)
+        assert matrix.nnz == 24
+        assert len(matrix.row_pointers) == 9
+        assert matrix.row_pointers[-1] == 24
+
+    def test_columns_in_range_and_unique_per_row(self):
+        matrix = random_csr(16, 16, 5, seed=1)
+        for row in range(16):
+            start, end = matrix.row_pointers[row], \
+                matrix.row_pointers[row + 1]
+            cols = matrix.col_indices[start:end]
+            assert len(set(cols)) == len(cols)
+            assert np.all((cols >= 0) & (cols < 16))
+
+    def test_too_many_nnz_rejected(self):
+        with pytest.raises(ValueError):
+            random_csr(4, 4, 5)
+
+    def test_multiply_matches_dense(self):
+        matrix = random_csr(12, 12, 4, seed=2)
+        x = dense_vector(12, seed=3)
+        assert np.allclose(matrix.multiply(x), matrix.to_dense() @ x)
+
+
+class TestBandedCsr:
+    def test_band_structure(self):
+        matrix = banded_csr(10, bandwidth=2, seed=0)
+        for row in range(10):
+            start, end = matrix.row_pointers[row], \
+                matrix.row_pointers[row + 1]
+            cols = matrix.col_indices[start:end]
+            assert np.all(np.abs(cols - row) <= 2)
+
+    def test_multiply_matches_dense(self):
+        matrix = banded_csr(10, bandwidth=1, seed=1)
+        x = dense_vector(10, seed=2)
+        assert np.allclose(matrix.multiply(x), matrix.to_dense() @ x)
+
+
+class TestClusteredCsr:
+    def test_cluster_width_respected(self):
+        matrix = clustered_csr(20, 64, nnz_per_row=4, cluster_width=8,
+                               seed=0)
+        for row in range(20):
+            start, end = matrix.row_pointers[row], \
+                matrix.row_pointers[row + 1]
+            cols = matrix.col_indices[start:end]
+            assert cols.max() - cols.min() < 8
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            clustered_csr(4, 16, nnz_per_row=8, cluster_width=4)
+
+
+class TestEll:
+    def test_ell_width_is_max_row(self):
+        matrix = random_csr(8, 8, 3, seed=0)
+        _values, _columns, width = matrix.to_ell()
+        assert width == 3
+
+    def test_ell_reconstructs_spmv(self):
+        matrix = random_csr(8, 8, 3, seed=4)
+        values, columns, width = matrix.to_ell()
+        x = dense_vector(8, seed=5)
+        y = np.zeros(8)
+        for slot in range(width):
+            y += values[slot] * x[columns[slot]]
+        assert np.allclose(y, matrix.multiply(x))
+
+    def test_ragged_rows_padded(self):
+        matrix = banded_csr(6, bandwidth=2, seed=0)  # edge rows shorter
+        values, columns, width = matrix.to_ell()
+        assert values.shape == (width, 6)
+        assert columns.shape == (width, 6)
+
+
+@settings(max_examples=20)
+@given(st.integers(min_value=1, max_value=32),
+       st.integers(min_value=1, max_value=8),
+       st.integers(min_value=0, max_value=100))
+def test_random_csr_always_consistent(rows, nnz, seed):
+    nnz = min(nnz, rows)
+    matrix = random_csr(rows, rows, nnz, seed=seed)
+    assert matrix.row_pointers[0] == 0
+    assert np.all(np.diff(matrix.row_pointers) == nnz)
+    assert len(matrix.values) == len(matrix.col_indices) == matrix.nnz

@@ -1,0 +1,116 @@
+"""Tests for the kernel runtime scaffolding (emitters, range split)."""
+
+import numpy as np
+import pytest
+
+from repro.assembler import assemble
+from repro.kernels.runtime import (
+    emit_doubles,
+    emit_dwords,
+    emit_zero_doubles,
+    range_split,
+    read_doubles,
+    read_dwords,
+    wrap_program,
+)
+from repro.spike import SpikeSimulator
+
+
+class TestEmitters:
+    def assemble_data(self, data_text: str):
+        program = assemble(f".data\n{data_text}", data_base=0x2000)
+        return program
+
+    def test_emit_doubles_round_trip(self):
+        values = np.array([1.5, -2.25, 3.14159, 0.0])
+        program = self.assemble_data(emit_doubles("arr", values))
+        from repro.soc.memory import SparseMemory
+        memory = SparseMemory()
+        program.load_into(memory)
+        out = read_doubles(memory, program.symbols["arr"], 4)
+        assert np.array_equal(out, values)
+
+    def test_emit_doubles_exact_bits(self):
+        """repr-based emission must preserve float64 bit patterns."""
+        values = np.array([0.1, 1 / 3, np.pi, 1e-300, 1e300])
+        program = self.assemble_data(emit_doubles("arr", values))
+        from repro.soc.memory import SparseMemory
+        memory = SparseMemory()
+        program.load_into(memory)
+        out = read_doubles(memory, program.symbols["arr"], len(values))
+        assert out.tobytes() == values.tobytes()
+
+    def test_emit_dwords_round_trip(self):
+        values = [0, 1, 2**63, 2**64 - 1]
+        program = self.assemble_data(emit_dwords("arr", values))
+        from repro.soc.memory import SparseMemory
+        memory = SparseMemory()
+        program.load_into(memory)
+        out = read_dwords(memory, program.symbols["arr"], 4)
+        assert list(out) == values
+
+    def test_emit_zero_doubles(self):
+        program = self.assemble_data(
+            emit_zero_doubles("buf", 5) + emit_dwords("after", [7]))
+        assert program.symbols["after"] - program.symbols["buf"] == 40
+
+    def test_empty_arrays(self):
+        program = self.assemble_data(
+            emit_doubles("a", []) + emit_dwords("b", []))
+        assert "a" in program.symbols and "b" in program.symbols
+
+    def test_alignment(self):
+        program = self.assemble_data(
+            ".byte 1\n" + emit_doubles("arr", [1.0]))
+        assert program.symbols["arr"] % 8 == 0
+
+
+class TestRangeSplit:
+    def run_split(self, total: int, cores: int) -> list[tuple[int, int]]:
+        """Execute the splitter on every hart; returns (start, end)."""
+        body = f"""\
+main:
+{range_split(total, cores)}
+    la   t5, starts
+    slli t6, a0, 3
+    add  t5, t5, t6
+    sd   s0, 0(t5)
+    la   t5, ends
+    add  t5, t5, t6
+    sd   s1, 0(t5)
+    li   a0, 0
+    ret
+"""
+        data = (f".align 3\nstarts: .zero {8 * cores}\n"
+                f"ends: .zero {8 * cores}\n")
+        program = assemble(wrap_program(body, data))
+        simulator = SpikeSimulator(program, num_cores=cores)
+        simulator.run()
+        memory = simulator.machine.memory
+        starts = read_dwords(memory, program.symbols["starts"], cores)
+        ends = read_dwords(memory, program.symbols["ends"], cores)
+        return list(zip(starts.tolist(), ends.tolist()))
+
+    @pytest.mark.parametrize("total,cores", [
+        (16, 4), (17, 4), (3, 4), (1, 1), (7, 3), (100, 8),
+    ])
+    def test_partition_covers_exactly(self, total, cores):
+        ranges = self.run_split(total, cores)
+        covered = []
+        for start, end in ranges:
+            assert start <= end
+            covered.extend(range(start, end))
+        assert sorted(covered) == list(range(total))
+
+    def test_remainder_goes_to_low_harts(self):
+        ranges = self.run_split(10, 4)  # 3,3,2,2
+        sizes = [end - start for start, end in ranges]
+        assert sizes == [3, 3, 2, 2]
+
+    def test_unique_labels_per_expansion(self):
+        """Two splits in one program must not collide on labels."""
+        text = range_split(8, 2) + range_split(8, 2)
+        assert text.count("rs_done_") == 4  # 2 defs + 2 uses
+        program = assemble(wrap_program(
+            f"main:\n{text}    li a0, 0\n    ret\n", ""))
+        assert program.total_bytes() > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the bank port-contention model."""
+
+import pytest
+
+from repro.memhier.l2bank import CacheBank
+from repro.memhier.request import MemRequest, RequestKind
+from repro.sparta.scheduler import Scheduler
+from repro.sparta.unit import Unit
+
+
+class PortHarness:
+    def __init__(self, cycles_per_request):
+        self.scheduler = Scheduler()
+        self.root = Unit("top", scheduler=self.scheduler)
+        self.sent = []
+        self.bank = CacheBank(
+            "bank0", self.root, size_bytes=1024, associativity=2,
+            line_bytes=64, hit_latency=3, miss_latency=1,
+            max_in_flight=8,
+            send=lambda s, d, p: self.sent.append((d, p)),
+            next_level_of=lambda _line: "mc0",
+            cycles_per_request=cycles_per_request)
+        self._next_id = 0
+
+    def request(self, line, kind=RequestKind.LOAD):
+        self._next_id += 1
+        request = MemRequest(request_id=self._next_id, core_id=0,
+                             tile_id=0, line_address=line, kind=kind,
+                             issue_cycle=self.scheduler.current_cycle)
+        request.fill_target = "tileside"
+        self.bank.handle_request(request)
+        return request
+
+    def warm(self, line):
+        request = self.request(line)
+        self.scheduler.advance_to(self.scheduler.current_cycle + 10)
+        self.bank.handle_fill(request)
+
+    def responses_at(self):
+        return [(dest, payload) for dest, payload in self.sent
+                if dest == "tileside"]
+
+
+class TestPortModel:
+    def test_ideal_port_hits_in_parallel(self):
+        harness = PortHarness(cycles_per_request=0)
+        harness.warm(0x1000)
+        harness.warm(0x2000)
+        start = harness.scheduler.current_cycle
+        harness.request(0x1000)
+        harness.request(0x2000)
+        harness.scheduler.advance_to(start + 4)
+        # Both hits respond after hit_latency=3, same cycle.
+        assert len(harness.responses_at()) == 4  # 2 fills + 2 hits
+
+    def test_single_port_serialises_hits(self):
+        harness = PortHarness(cycles_per_request=5)
+        harness.warm(0x1000)
+        harness.warm(0x2000)
+        harness.sent.clear()
+        start = harness.scheduler.current_cycle
+        harness.request(0x1000)
+        harness.request(0x2000)
+        harness.scheduler.advance_to(start + 4)
+        assert len(harness.responses_at()) == 1  # second waits the port
+        harness.scheduler.advance_to(start + 9)
+        assert len(harness.responses_at()) == 2
+
+    def test_conflict_cycles_counted(self):
+        harness = PortHarness(cycles_per_request=5)
+        harness.request(0x1000)
+        harness.request(0x2000)
+        stat = harness.bank.stats._counters["port_conflict_cycles"]
+        assert stat.value == 5
+
+    def test_port_idle_after_gap(self):
+        harness = PortHarness(cycles_per_request=5)
+        harness.warm(0x1000)
+        harness.sent.clear()
+        harness.scheduler.advance_to(harness.scheduler.current_cycle
+                                     + 50)
+        start = harness.scheduler.current_cycle
+        harness.request(0x1000)
+        harness.scheduler.advance_to(start + 4)
+        assert len(harness.responses_at()) == 1  # no residual queueing
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PortHarness(cycles_per_request=-1)

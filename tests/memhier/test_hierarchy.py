@@ -1,0 +1,146 @@
+"""Tests for the assembled memory hierarchy (end-to-end request flow)."""
+
+import pytest
+
+from repro.memhier.hierarchy import MemHierConfig, MemoryHierarchy
+from repro.memhier.request import MemRequest, RequestKind
+from repro.sparta.scheduler import Scheduler
+
+
+def make_hierarchy(**overrides):
+    config = MemHierConfig(**overrides)
+    scheduler = Scheduler()
+    hierarchy = MemoryHierarchy(config, scheduler)
+    completed: list[MemRequest] = []
+    hierarchy.on_complete = completed.append
+    return hierarchy, scheduler, completed
+
+
+class TestConfigValidation:
+    def test_default_is_valid(self):
+        MemHierConfig().validate()
+
+    def test_bad_l2_mode(self):
+        with pytest.raises(ValueError):
+            MemHierConfig(l2_mode="banana").validate()
+
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            MemHierConfig(mapping_policy="nope").validate()
+
+    def test_non_power_of_two_banks(self):
+        with pytest.raises(ValueError):
+            MemHierConfig(num_tiles=3, banks_per_tile=1).validate()
+
+    def test_non_power_of_two_mcs(self):
+        with pytest.raises(ValueError):
+            MemHierConfig(num_memory_controllers=3).validate()
+
+    def test_derived_counts(self):
+        config = MemHierConfig(num_tiles=2, cores_per_tile=8,
+                               banks_per_tile=2)
+        assert config.num_cores == 16 and config.num_banks == 4
+
+
+class TestRequestFlow:
+    def test_cold_load_completes(self):
+        hierarchy, scheduler, completed = make_hierarchy()
+        request = hierarchy.submit(1, 0, 0x8000_0000, RequestKind.LOAD)
+        scheduler.run_until_idle()
+        assert completed == [request]
+        assert request.l2_hit is False
+        # NoC in (6) + miss (4) + NoC to mc (6) + mem (100) + NoC back
+        # (6) + NoC response (6) = 128.
+        assert request.latency == 128
+
+    def test_warm_load_is_l2_hit(self):
+        hierarchy, scheduler, completed = make_hierarchy()
+        hierarchy.submit(1, 0, 0x8000_0000, RequestKind.LOAD)
+        scheduler.run_until_idle()
+        second = hierarchy.submit(2, 0, 0x8000_0000, RequestKind.LOAD)
+        scheduler.run_until_idle()
+        assert second.l2_hit is True
+        # NoC (6) + hit (10) + NoC (6) = 22.
+        assert second.latency == 22
+
+    def test_writeback_never_completes(self):
+        hierarchy, scheduler, completed = make_hierarchy()
+        hierarchy.submit(-1, 0, 0x8000_0000, RequestKind.WRITEBACK)
+        scheduler.run_until_idle()
+        assert completed == []
+        assert hierarchy.outstanding() == 0
+
+    def test_ifetch_completes(self):
+        hierarchy, scheduler, completed = make_hierarchy()
+        hierarchy.submit(5, 2, 0x8000_0000, RequestKind.IFETCH)
+        scheduler.run_until_idle()
+        assert completed[0].request_id == 5
+
+    def test_trace_sink_called(self):
+        hierarchy, scheduler, _completed = make_hierarchy()
+        traced = []
+        hierarchy.trace_sink = traced.append
+        hierarchy.submit(1, 0, 0x8000_0000, RequestKind.LOAD)
+        scheduler.run_until_idle()
+        assert len(traced) == 1
+
+    def test_mesh_noc_variant(self):
+        hierarchy, scheduler, completed = make_hierarchy(noc_kind="mesh")
+        hierarchy.submit(1, 0, 0x8000_0000, RequestKind.LOAD)
+        scheduler.run_until_idle()
+        assert len(completed) == 1
+
+
+class TestBankSelection:
+    def test_shared_mode_uses_all_banks(self):
+        hierarchy, _scheduler, _completed = make_hierarchy(
+            num_tiles=2, cores_per_tile=4, banks_per_tile=2,
+            l2_mode="shared", mapping_policy="set-interleaving")
+        banks = {hierarchy.bank_for(0, line * 64).name
+                 for line in range(8)}
+        assert len(banks) == 4
+
+    def test_private_mode_restricted_to_tile(self):
+        hierarchy, _scheduler, _completed = make_hierarchy(
+            num_tiles=2, cores_per_tile=4, banks_per_tile=2,
+            l2_mode="private")
+        core0_banks = {hierarchy.bank_for(0, line * 64).name
+                       for line in range(16)}
+        core7_banks = {hierarchy.bank_for(7, line * 64).name
+                       for line in range(16)}
+        assert core0_banks == {"bank0", "bank1"}
+        assert core7_banks == {"bank2", "bank3"}
+
+    def test_page_to_bank_mapping(self):
+        hierarchy, _scheduler, _completed = make_hierarchy(
+            num_tiles=1, banks_per_tile=4,
+            mapping_policy="page-to-bank")
+        page_banks = {hierarchy.bank_for(0, 0x3000 + offset).name
+                      for offset in range(0, 4096, 64)}
+        assert len(page_banks) == 1
+
+    def test_mc_interleaving(self):
+        hierarchy, _scheduler, _completed = make_hierarchy(
+            num_memory_controllers=2)
+        endpoints = {hierarchy._mc_endpoint_of(line * 64)
+                     for line in range(4)}
+        assert len(endpoints) == 2
+
+
+class TestStats:
+    def test_stats_collection_covers_units(self):
+        hierarchy, scheduler, _completed = make_hierarchy()
+        hierarchy.submit(1, 0, 0x8000_0000, RequestKind.LOAD)
+        scheduler.run_until_idle()
+        names = {sample.full_name for sample in hierarchy.collect_stats()}
+        assert any("bank0.requests" in name for name in names)
+        assert any("mc0.reads" in name or "mc1.reads" in name
+                   for name in names)
+        assert "memhier.requests_completed" in names
+
+    def test_outstanding_tracks_in_flight(self):
+        hierarchy, scheduler, _completed = make_hierarchy()
+        hierarchy.submit(1, 0, 0x8000_0000, RequestKind.LOAD)
+        assert hierarchy.outstanding() == 1
+        scheduler.run_until_idle()
+        assert hierarchy.outstanding() == 0

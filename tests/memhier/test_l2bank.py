@@ -1,0 +1,174 @@
+"""Tests for the L2 bank unit: hits, MSHRs, coalescing, back-pressure."""
+
+import pytest
+
+from repro.memhier.l2bank import L2Bank
+from repro.memhier.request import MemRequest, RequestKind
+from repro.sparta.scheduler import Scheduler
+from repro.sparta.unit import Unit
+
+
+class BankHarness:
+    """An L2 bank wired to a message-recording fake NoC."""
+
+    def __init__(self, **bank_kwargs):
+        self.scheduler = Scheduler()
+        self.root = Unit("top", scheduler=self.scheduler)
+        self.sent: list[tuple[str, str, MemRequest]] = []
+        defaults = dict(size_bytes=1024, associativity=2, line_bytes=64,
+                        hit_latency=3, miss_latency=1, max_in_flight=2)
+        defaults.update(bank_kwargs)
+        self.bank = L2Bank("bank0", self.root, send=self._send,
+                           next_level_of=lambda _line: "mc0", **defaults)
+        self._next_id = 0
+
+    def _send(self, source, destination, payload):
+        self.sent.append((source, destination, payload))
+
+    def request(self, line, kind=RequestKind.LOAD):
+        self._next_id += 1
+        request = MemRequest(request_id=self._next_id, core_id=0,
+                             tile_id=0, line_address=line, kind=kind,
+                             issue_cycle=self.scheduler.current_cycle)
+        request.fill_target = "tileside"
+        self.bank.handle_request(request)
+        return request
+
+    def run(self, cycles=50):
+        self.scheduler.advance_to(self.scheduler.current_cycle + cycles)
+
+    def to_mc(self):
+        return [payload for _s, dest, payload in self.sent
+                if dest == "mc0"]
+
+    def responses(self):
+        return [payload for _s, dest, payload in self.sent
+                if dest == "tileside"]
+
+    def fill(self, request):
+        self.bank.handle_fill(request)
+
+
+class TestHitPath:
+    def test_miss_goes_to_memory(self):
+        harness = BankHarness()
+        harness.request(0x1000)
+        harness.run()
+        assert len(harness.to_mc()) == 1
+        assert harness.to_mc()[0].fill_target == harness.bank.fill_endpoint
+
+    def test_fill_responds_to_tileside(self):
+        harness = BankHarness()
+        request = harness.request(0x1000)
+        harness.run()
+        harness.fill(request)
+        assert harness.responses() == [request]
+        assert request.l2_hit is False
+
+    def test_hit_after_fill(self):
+        harness = BankHarness()
+        first = harness.request(0x1000)
+        harness.run()
+        harness.fill(first)
+        second = harness.request(0x1000)
+        harness.run()
+        assert second in harness.responses()
+        assert second.l2_hit is True
+        assert len(harness.to_mc()) == 1  # no second memory trip
+
+    def test_hit_latency_applied(self):
+        harness = BankHarness(hit_latency=7)
+        first = harness.request(0x1000)
+        harness.run()
+        harness.fill(first)
+        start = harness.scheduler.current_cycle
+        harness.request(0x1000)
+        harness.scheduler.advance_to(start + 6)
+        assert len(harness.responses()) == 1  # only the fill response
+        harness.scheduler.advance_to(start + 8)
+        assert len(harness.responses()) == 2
+
+
+class TestMshr:
+    def test_coalescing_same_line(self):
+        harness = BankHarness()
+        first = harness.request(0x1000)
+        second = harness.request(0x1000)
+        harness.run()
+        assert len(harness.to_mc()) == 1  # one fill for both
+        harness.fill(first)
+        responses = harness.responses()
+        assert any(response is first for response in responses)
+        assert any(response is second for response in responses)
+
+    def test_back_pressure_when_full(self):
+        harness = BankHarness(max_in_flight=2)
+        requests = [harness.request(0x1000 * (i + 1)) for i in range(3)]
+        harness.run()
+        assert len(harness.to_mc()) == 2  # third queued
+        assert harness.bank.queued() == 1
+        harness.fill(requests[0])
+        harness.run()
+        assert len(harness.to_mc()) == 3  # queue drained
+
+    def test_mshr_stall_counted(self):
+        harness = BankHarness(max_in_flight=1)
+        harness.request(0x1000)
+        harness.request(0x2000)
+        harness.run()
+        assert harness.bank.stats._counters["mshr_stalls"].value == 1
+
+    def test_unexpected_fill_raises(self):
+        harness = BankHarness()
+        stray = MemRequest(request_id=9, core_id=0, tile_id=0,
+                           line_address=0x5000, kind=RequestKind.LOAD,
+                           issue_cycle=0)
+        with pytest.raises(RuntimeError):
+            harness.fill(stray)
+
+
+class TestWritebacks:
+    def test_store_miss_fill_installs_dirty(self):
+        harness = BankHarness(size_bytes=128, associativity=1)
+        store = harness.request(0x0000, RequestKind.STORE)
+        harness.run()
+        harness.fill(store)
+        # Evict via a conflicting line: set 0 and stride = 128B.
+        conflict = harness.request(0x0080)
+        harness.run()
+        harness.fill(conflict)
+        writebacks = [payload for payload in harness.to_mc()
+                      if payload.kind is RequestKind.WRITEBACK]
+        assert len(writebacks) == 1
+        assert writebacks[0].line_address == 0x0000
+
+    def test_l1_writeback_absorbed_when_resident(self):
+        harness = BankHarness()
+        first = harness.request(0x1000)
+        harness.run()
+        harness.fill(first)
+        harness.request(0x1000, RequestKind.WRITEBACK)
+        harness.run()
+        # Absorbed: no extra memory traffic, no response.
+        assert len(harness.to_mc()) == 1
+        assert len(harness.responses()) == 1
+
+    def test_l1_writeback_forwarded_when_absent(self):
+        harness = BankHarness()
+        harness.request(0x3000, RequestKind.WRITEBACK)
+        harness.run()
+        (message,) = harness.to_mc()
+        assert message.kind is RequestKind.WRITEBACK
+        assert len(harness.responses()) == 0
+
+    def test_clean_eviction_no_writeback(self):
+        harness = BankHarness(size_bytes=128, associativity=1)
+        first = harness.request(0x0000)
+        harness.run()
+        harness.fill(first)
+        second = harness.request(0x0080)
+        harness.run()
+        harness.fill(second)
+        writebacks = [payload for payload in harness.to_mc()
+                      if payload.kind is RequestKind.WRITEBACK]
+        assert not writebacks

@@ -1,0 +1,80 @@
+"""Tests for the address-to-bank mapping policies."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memhier.mapping import (
+    PageToBank,
+    SetInterleaving,
+    make_policy,
+    policy_names,
+)
+
+
+class TestSetInterleaving:
+    def test_consecutive_lines_round_robin(self):
+        policy = SetInterleaving(4, line_bytes=64)
+        banks = [policy.bank_of(line * 64) for line in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_same_line_same_bank(self):
+        policy = SetInterleaving(4, line_bytes=64)
+        assert policy.bank_of(0x1000) == policy.bank_of(0x1000 + 63)
+
+    def test_single_bank(self):
+        policy = SetInterleaving(1)
+        assert policy.bank_of(0xDEADBEC0) == 0
+
+
+class TestPageToBank:
+    def test_whole_page_one_bank(self):
+        policy = PageToBank(4, line_bytes=64, page_bytes=4096)
+        banks = {policy.bank_of(0x3000 + offset)
+                 for offset in range(0, 4096, 64)}
+        assert len(banks) == 1
+
+    def test_consecutive_pages_round_robin(self):
+        policy = PageToBank(4, page_bytes=4096)
+        banks = [policy.bank_of(page * 4096) for page in range(8)]
+        assert banks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(policy_names()) == {"set-interleaving", "page-to-bank"}
+
+    def test_make_by_name(self):
+        assert isinstance(make_policy("page-to-bank", 4), PageToBank)
+        assert isinstance(make_policy("set-interleaving", 4),
+                          SetInterleaving)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("hash-based", 4)
+
+    def test_bad_bank_count(self):
+        with pytest.raises(ValueError):
+            SetInterleaving(3)
+
+    def test_bad_page_size(self):
+        with pytest.raises(ValueError):
+            PageToBank(4, line_bytes=64, page_bytes=32)
+
+
+@given(st.sampled_from(policy_names()),
+       st.sampled_from([1, 2, 4, 8, 16]),
+       st.integers(min_value=0, max_value=(1 << 40) // 64))
+def test_bank_always_in_range(name, num_banks, line_index):
+    policy = make_policy(name, num_banks)
+    assert 0 <= policy.bank_of(line_index * 64) < num_banks
+
+
+@given(st.sampled_from([2, 4, 8]))
+def test_interleaving_balances_dense_sweep(num_banks):
+    """A dense sweep of N*banks lines lands exactly N on each bank."""
+    policy = SetInterleaving(num_banks, line_bytes=64)
+    counts = [0] * num_banks
+    for line in range(num_banks * 10):
+        counts[policy.bank_of(line * 64)] += 1
+    assert counts == [10] * num_banks

@@ -1,0 +1,91 @@
+"""Tests for the L2 tag array (lookup/install split)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memhier.tagarray import TagArray
+
+
+def small_array():
+    return TagArray(size_bytes=512, associativity=2, line_bytes=64)
+
+
+class TestLookupInstall:
+    def test_lookup_miss_does_not_allocate(self):
+        tags = small_array()
+        assert not tags.lookup(0x1000, False)
+        assert not tags.lookup(0x1000, False)  # still a miss
+
+    def test_install_then_hit(self):
+        tags = small_array()
+        tags.install(0x1000)
+        assert tags.lookup(0x1000, False)
+
+    def test_install_returns_victim(self):
+        tags = small_array()
+        assert tags.install(0x0000) is None
+        assert tags.install(0x0100) is None
+        victim = tags.install(0x0200)
+        assert victim == (0x0000, False)
+
+    def test_dirty_victim(self):
+        tags = small_array()
+        tags.install(0x0000, dirty=True)
+        tags.install(0x0100)
+        assert tags.install(0x0200) == (0x0000, True)
+
+    def test_write_hit_marks_dirty(self):
+        tags = small_array()
+        tags.install(0x0000)
+        tags.lookup(0x0000, is_write=True)
+        tags.install(0x0100)
+        assert tags.install(0x0200) == (0x0000, True)
+
+    def test_lookup_refreshes_lru(self):
+        tags = small_array()
+        tags.install(0x0000)
+        tags.install(0x0100)
+        tags.lookup(0x0000, False)      # 0x0100 becomes LRU
+        victim = tags.install(0x0200)
+        assert victim == (0x0100, False)
+
+    def test_reinstall_resident_keeps_dirty(self):
+        tags = small_array()
+        tags.install(0x0000, dirty=True)
+        assert tags.install(0x0000, dirty=False) is None
+        tags.install(0x0100)
+        assert tags.install(0x0200) == (0x0000, True)
+
+    def test_contains_no_side_effects(self):
+        tags = small_array()
+        tags.install(0x0000)
+        tags.install(0x0100)
+        assert tags.contains(0x0000)
+        tags.install(0x0200)  # 0x0000 still LRU despite contains()
+        assert not tags.contains(0x0000)
+
+
+class TestGeometry:
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TagArray(1000, 2, 64)
+        with pytest.raises(ValueError):
+            TagArray(512, 2, 60)
+
+    def test_resident_lines(self):
+        tags = small_array()
+        tags.install(0x0000)
+        tags.install(0x1040)
+        assert tags.resident_lines() == 2
+
+
+@settings(max_examples=30)
+@given(st.lists(st.integers(min_value=0, max_value=31), min_size=1,
+                max_size=200))
+def test_install_capacity_invariant(lines):
+    tags = TagArray(size_bytes=2048, associativity=4, line_bytes=64)
+    for line in lines:
+        if not tags.lookup(line * 64, False):
+            tags.install(line * 64)
+        assert tags.resident_lines() <= 32

@@ -1,0 +1,146 @@
+"""Tests for Paraver trace writing, parsing, and analysis."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.paraver.analyzer import (
+    LatencySummary,
+    bank_pressure,
+    kind_breakdown,
+    l2_hit_rate,
+    latency_by_outcome,
+    per_core_counts,
+    stride_histogram,
+    temporal_profile,
+)
+from repro.paraver.parser import PrvParseError, parse_header, parse_prv
+from repro.paraver.records import MissKind, MissRecord
+from repro.paraver.writer import write_pcf, write_prv, write_trace
+
+
+def record(core=0, issue=10, complete=50, line=0x1000, kind=MissKind.LOAD,
+           bank=1, l2_hit=False):
+    return MissRecord(core_id=core, issue_cycle=issue,
+                      complete_cycle=complete, line_address=line,
+                      kind=kind, bank_id=bank, l2_hit=l2_hit)
+
+
+SAMPLE = [
+    record(core=0, issue=0, complete=128, line=0x1000, bank=0),
+    record(core=0, issue=10, complete=32, line=0x1040, bank=1,
+           l2_hit=True),
+    record(core=1, issue=5, complete=133, line=0x2000, bank=0,
+           kind=MissKind.STORE),
+    record(core=1, issue=50, complete=180, line=0x2040, bank=1,
+           kind=MissKind.IFETCH),
+]
+
+
+class TestWriterParser:
+    def test_round_trip(self, tmp_path):
+        path = write_prv(tmp_path / "t.prv", SAMPLE, num_cores=2,
+                         duration=200)
+        parsed, duration, cores = parse_prv(path)
+        assert duration == 200 and cores == 2
+        assert sorted(parsed, key=lambda r: (r.complete_cycle, r.core_id)) \
+            == sorted(SAMPLE, key=lambda r: (r.complete_cycle, r.core_id))
+
+    def test_header_format(self, tmp_path):
+        path = write_prv(tmp_path / "t.prv", [], num_cores=8,
+                         duration=1000)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line.startswith("#Paraver")
+        assert parse_header(first_line) == (1000, 8)
+
+    def test_records_time_sorted(self, tmp_path):
+        path = write_prv(tmp_path / "t.prv", SAMPLE, 2, 200)
+        times = [int(line.split(":")[5])
+                 for line in path.read_text().splitlines()[1:]]
+        assert times == sorted(times)
+
+    def test_pcf_labels(self, tmp_path):
+        path = write_pcf(tmp_path / "t.pcf")
+        content = path.read_text()
+        assert "EVENT_TYPE" in content and "LOAD" in content
+
+    def test_write_trace_pair(self, tmp_path):
+        prv, pcf = write_trace(tmp_path / "base", SAMPLE, 2, 200)
+        assert prv.suffix == ".prv" and pcf.suffix == ".pcf"
+
+    def test_parse_rejects_garbage(self, tmp_path):
+        bad = tmp_path / "bad.prv"
+        bad.write_text("not a trace\n")
+        with pytest.raises(PrvParseError):
+            parse_prv(bad)
+
+    def test_parse_skips_foreign_records(self, tmp_path):
+        path = write_prv(tmp_path / "t.prv", SAMPLE[:1], 2, 200)
+        content = path.read_text() + "1:1:1:1:1:0:10:99\n"  # state record
+        path.write_text(content)
+        parsed, _duration, _cores = parse_prv(path)
+        assert len(parsed) == 1
+
+    @settings(max_examples=25)
+    @given(st.lists(st.builds(
+        MissRecord,
+        core_id=st.integers(min_value=0, max_value=7),
+        issue_cycle=st.integers(min_value=0, max_value=1000),
+        complete_cycle=st.integers(min_value=1001, max_value=2000),
+        line_address=st.integers(min_value=0,
+                                 max_value=(1 << 30) // 64).map(
+            lambda line: line * 64),
+        kind=st.sampled_from(list(MissKind)),
+        bank_id=st.integers(min_value=0, max_value=15),
+        l2_hit=st.booleans()), max_size=30))
+    def test_round_trip_random(self, records):
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = write_prv(Path(tmp) / "t.prv", records, 8, 2000)
+            parsed, _duration, _cores = parse_prv(path)
+        key = lambda r: (r.complete_cycle, r.core_id, r.line_address)
+        assert sorted(parsed, key=key) == sorted(records, key=key)
+
+
+class TestAnalyzer:
+    def test_bank_pressure(self):
+        assert bank_pressure(SAMPLE) == {0: 2, 1: 2}
+
+    def test_kind_breakdown(self):
+        breakdown = kind_breakdown(SAMPLE)
+        assert breakdown[MissKind.LOAD] == 2
+        assert breakdown[MissKind.STORE] == 1
+        assert breakdown[MissKind.IFETCH] == 1
+
+    def test_latency_by_outcome(self):
+        summary = latency_by_outcome(SAMPLE)
+        assert summary["l2_hit"].count == 1
+        assert summary["l2_hit"].mean == 22.0
+        assert summary["l2_miss"].count == 3
+
+    def test_latency_summary_empty(self):
+        assert LatencySummary.of([]).count == 0
+
+    def test_per_core_counts(self):
+        assert per_core_counts(SAMPLE) == {0: 2, 1: 2}
+
+    def test_l2_hit_rate(self):
+        assert l2_hit_rate(SAMPLE) == 0.25
+        assert l2_hit_rate([]) == 0.0
+
+    def test_temporal_profile_bins(self):
+        profile = temporal_profile(SAMPLE, duration=200, bins=4)
+        assert sum(profile) == len(SAMPLE)
+        assert len(profile) == 4
+
+    def test_temporal_profile_validates(self):
+        with pytest.raises(ValueError):
+            temporal_profile(SAMPLE, 200, bins=0)
+
+    def test_stride_histogram_dense(self):
+        dense = [record(core=0, issue=i, complete=i + 100,
+                        line=0x1000 + 64 * i) for i in range(10)]
+        top = stride_histogram(dense)
+        assert top[0] == (1, 9)  # dominant +1-line stride

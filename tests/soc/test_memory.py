@@ -1,0 +1,96 @@
+"""Tests for the sparse physical memory."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc.memory import PAGE_SIZE, MemoryError_, SparseMemory
+
+
+class TestScalarAccess:
+    def test_uninitialised_reads_zero(self, memory):
+        assert memory.load_int(0x1234, 8) == 0
+
+    def test_store_load_roundtrip(self, memory):
+        memory.store_int(0x100, 0xDEADBEEF, 4)
+        assert memory.load_int(0x100, 4) == 0xDEADBEEF
+
+    def test_little_endian(self, memory):
+        memory.store_int(0x100, 0x0102030405060708, 8)
+        assert memory.load_bytes(0x100, 8) == \
+            bytes([8, 7, 6, 5, 4, 3, 2, 1])
+
+    def test_store_truncates_to_size(self, memory):
+        memory.store_int(0x100, 0x1FF, 1)
+        assert memory.load_int(0x100, 1) == 0xFF
+
+    def test_adjacent_bytes_untouched(self, memory):
+        memory.store_int(0x100, 0xFFFFFFFFFFFFFFFF, 8)
+        memory.store_int(0x104, 0, 1)
+        assert memory.load_int(0x100, 8) == 0xFFFFFF00FFFFFFFF
+
+    def test_cross_page_access(self, memory):
+        address = PAGE_SIZE - 4
+        memory.store_int(address, 0x1122334455667788, 8)
+        assert memory.load_int(address, 8) == 0x1122334455667788
+
+    def test_high_addresses(self, memory):
+        memory.store_int(0xFFFF_FFFF_0000, 42, 8)
+        assert memory.load_int(0xFFFF_FFFF_0000, 8) == 42
+
+
+class TestBulkAccess:
+    def test_store_load_bytes(self, memory):
+        blob = bytes(range(256))
+        memory.store_bytes(0x4000, blob)
+        assert memory.load_bytes(0x4000, 256) == blob
+
+    def test_bulk_cross_many_pages(self, memory):
+        blob = bytes([i % 251 for i in range(3 * PAGE_SIZE)])
+        memory.store_bytes(100, blob)
+        assert memory.load_bytes(100, len(blob)) == blob
+
+    def test_load_partially_unallocated(self, memory):
+        memory.store_bytes(PAGE_SIZE - 2, b"ab")
+        result = memory.load_bytes(PAGE_SIZE - 4, 8)
+        assert result == b"\x00\x00ab\x00\x00\x00\x00"
+
+    def test_negative_length_rejected(self, memory):
+        with pytest.raises(MemoryError_):
+            memory.load_bytes(0, -1)
+
+    def test_empty_store(self, memory):
+        memory.store_bytes(0, b"")
+        assert memory.allocated_bytes() == 0
+
+
+class TestIntrospection:
+    def test_allocation_is_lazy(self, memory):
+        memory.load_bytes(0, 1 << 20)
+        assert memory.allocated_bytes() == 0
+
+    def test_allocation_counts_pages(self, memory):
+        memory.store_int(0, 1, 1)
+        memory.store_int(10 * PAGE_SIZE, 1, 1)
+        assert memory.allocated_bytes() == 2 * PAGE_SIZE
+
+    def test_touched_pages_sorted(self, memory):
+        memory.store_int(5 * PAGE_SIZE, 1, 1)
+        memory.store_int(2 * PAGE_SIZE, 1, 1)
+        assert memory.touched_pages() == [2 * PAGE_SIZE, 5 * PAGE_SIZE]
+
+
+@settings(max_examples=50)
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=1 << 20),
+                          st.binary(min_size=1, max_size=64)),
+                min_size=1, max_size=20))
+def test_matches_flat_model(operations):
+    """Random writes against a flat bytearray reference model."""
+    memory = SparseMemory()
+    reference = bytearray((1 << 20) + 64)
+    for address, data in operations:
+        memory.store_bytes(address, data)
+        reference[address:address + len(data)] = data
+    for address, data in operations:
+        assert memory.load_bytes(address, len(data)) == \
+            bytes(reference[address:address + len(data)])

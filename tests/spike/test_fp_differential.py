@@ -1,0 +1,147 @@
+"""Differential testing of scalar FP execution against numpy float64.
+
+Random operand values (including signed zeros and extremes) flow through
+each double-precision operation; expected results come from numpy, whose
+IEEE-754 semantics are independent of the hart's Python-float executors.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_hart, run_until_ebreak
+
+_FLOATS = st.floats(allow_nan=False, allow_infinity=False,
+                    allow_subnormal=True)
+
+_BIN_OPS = {
+    "fadd.d": np.add,
+    "fsub.d": np.subtract,
+    "fmul.d": np.multiply,
+    "fmin.d": np.minimum,
+    "fmax.d": np.maximum,
+}
+
+
+def run_fp_binary(op: str, a: float, b: float) -> float:
+    source = f""".text
+_start:
+    la a0, va
+    fld fa0, 0(a0)
+    la a0, vb
+    fld fa1, 0(a0)
+    {op} fa2, fa0, fa1
+    la a0, vout
+    fsd fa2, 0(a0)
+    ebreak
+.data
+.align 3
+va:   .double {a!r}
+vb:   .double {b!r}
+vout: .double 0.0
+"""
+    hart = make_hart(source)
+    run_until_ebreak(hart)
+    raw = hart.memory.load_bytes(hart.program_symbols["vout"], 8)
+    return float(np.frombuffer(raw, dtype=np.float64)[0])
+
+
+@pytest.mark.parametrize("op", sorted(_BIN_OPS))
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_fp_binary_matches_numpy(op, data):
+    a = data.draw(_FLOATS)
+    b = data.draw(_FLOATS)
+    with np.errstate(over="ignore", invalid="ignore"):
+        expected = float(_BIN_OPS[op](np.float64(a), np.float64(b)))
+    actual = run_fp_binary(op, a, b)
+    assert actual == expected or (math.isnan(actual)
+                                  and math.isnan(expected)), \
+        f"{op}({a!r}, {b!r}) = {actual!r}, numpy says {expected!r}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(a=_FLOATS, b=_FLOATS, c=_FLOATS)
+def test_fmadd_close_to_numpy(a, b, c):
+    """Our fmadd is an unfused a*b+c (double rounding); it must agree
+    with numpy's unfused computation exactly."""
+    source = f""".text
+_start:
+    la a0, va
+    fld fa0, 0(a0)
+    la a0, vb
+    fld fa1, 0(a0)
+    la a0, vc
+    fld fa2, 0(a0)
+    fmadd.d fa3, fa0, fa1, fa2
+    la a0, vout
+    fsd fa3, 0(a0)
+    ebreak
+.data
+.align 3
+va:   .double {a!r}
+vb:   .double {b!r}
+vc:   .double {c!r}
+vout: .double 0.0
+"""
+    hart = make_hart(source)
+    run_until_ebreak(hart)
+    raw = hart.memory.load_bytes(hart.program_symbols["vout"], 8)
+    actual = float(np.frombuffer(raw, dtype=np.float64)[0])
+    with np.errstate(over="ignore", invalid="ignore"):
+        expected = float(np.float64(a) * np.float64(b) + np.float64(c))
+    assert actual == expected or (math.isnan(actual)
+                                  and math.isnan(expected))
+
+
+@settings(max_examples=40, deadline=None)
+@given(value=st.floats(min_value=0.0, allow_nan=False,
+                       allow_infinity=False))
+def test_fsqrt_matches_numpy(value):
+    source = f""".text
+_start:
+    la a0, va
+    fld fa0, 0(a0)
+    fsqrt.d fa1, fa0
+    la a0, vout
+    fsd fa1, 0(a0)
+    ebreak
+.data
+.align 3
+va:   .double {value!r}
+vout: .double 0.0
+"""
+    hart = make_hart(source)
+    run_until_ebreak(hart)
+    raw = hart.memory.load_bytes(hart.program_symbols["vout"], 8)
+    actual = float(np.frombuffer(raw, dtype=np.float64)[0])
+    assert actual == float(np.sqrt(np.float64(value)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(value=st.floats(allow_nan=False, allow_infinity=False,
+                       min_value=-1e18, max_value=1e18))
+def test_fcvt_l_d_truncates_like_numpy(value):
+    source = f""".text
+_start:
+    la a0, va
+    fld fa0, 0(a0)
+    fcvt.l.d a1, fa0
+    la a0, vout
+    sd a1, 0(a0)
+    ebreak
+.data
+.align 3
+va:   .double {value!r}
+vout: .dword 0
+"""
+    hart = make_hart(source)
+    run_until_ebreak(hart)
+    raw = hart.memory.load_bytes(hart.program_symbols["vout"], 8)
+    actual = int(np.frombuffer(raw, dtype=np.int64)[0])
+    assert actual == int(np.trunc(np.float64(value)))

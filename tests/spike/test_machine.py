@@ -1,0 +1,111 @@
+"""Tests for the bare-metal machine (HTIF protocol, boot state)."""
+
+from repro.assembler import assemble
+from repro.spike.machine import BareMetalMachine
+from repro.spike.simulator import SpikeSimulator
+
+
+EXIT_PROGRAM = """
+.text
+_start:
+    csrr a0, mhartid
+    slli a1, a0, 1
+    ori  a1, a1, 1
+    la   t0, tohost
+    sd   a1, 0(t0)
+spin:
+    j spin
+.data
+.align 3
+tohost: .dword 0
+"""
+
+
+class TestBoot:
+    def test_harts_boot_at_entry(self):
+        program = assemble(EXIT_PROGRAM)
+        machine = BareMetalMachine(program, num_cores=3)
+        assert all(hart.pc == program.entry for hart in machine.harts)
+
+    def test_a0_holds_hartid(self):
+        program = assemble(EXIT_PROGRAM)
+        machine = BareMetalMachine(program, num_cores=3)
+        assert [hart.regs[10] for hart in machine.harts] == [0, 1, 2]
+
+    def test_stacks_are_disjoint(self):
+        program = assemble(EXIT_PROGRAM)
+        machine = BareMetalMachine(program, num_cores=4)
+        stacks = [hart.regs[2] for hart in machine.harts]
+        assert len(set(stacks)) == 4
+
+    def test_program_loaded(self):
+        program = assemble(EXIT_PROGRAM)
+        machine = BareMetalMachine(program, num_cores=1)
+        first_word = machine.memory.load_int(program.entry, 4)
+        assert first_word != 0
+
+
+class TestHtifExit:
+    def test_per_hart_exit_codes(self):
+        program = assemble(EXIT_PROGRAM)
+        simulator = SpikeSimulator(program, num_cores=3)
+        simulator.run()
+        # Each hart exits with code == its hartid.
+        assert simulator.machine.exit_codes == {0: 0, 1: 1, 2: 2}
+
+    def test_all_succeeded(self):
+        source = EXIT_PROGRAM.replace("slli a1, a0, 1", "li a1, 0\n")
+        simulator = SpikeSimulator(assemble(source), num_cores=2)
+        simulator.run()
+        assert simulator.machine.all_succeeded()
+
+    def test_console_output(self):
+        source = """
+.text
+_start:
+    la   t0, tohost
+    li   t1, 0x0101000000000000 + 'H'
+    sd   t1, 0(t0)
+    li   t1, 0x0101000000000000 + 'i'
+    sd   t1, 0(t0)
+    li   t2, 1
+    sd   t2, 0(t0)
+halt:
+    j halt
+.data
+.align 3
+tohost: .dword 0
+"""
+        simulator = SpikeSimulator(assemble(source), num_cores=1)
+        simulator.run()
+        assert simulator.machine.console_text() == "Hi"
+
+    def test_console_cleared_after_putchar(self):
+        source = """
+.text
+_start:
+    la   t0, tohost
+    li   t1, 0x0101000000000000 + 'X'
+    sd   t1, 0(t0)
+    ld   a0, 0(t0)
+    slli a0, a0, 1
+    ori  a0, a0, 1
+    sd   a0, 0(t0)
+halt:
+    j halt
+.data
+.align 3
+tohost: .dword 0
+"""
+        simulator = SpikeSimulator(assemble(source), num_cores=1)
+        simulator.run()
+        # tohost was zeroed after the putchar, so exit code is 0.
+        assert simulator.machine.exit_codes[0] == 0
+
+    def test_no_tohost_symbol_is_harmless(self):
+        program = assemble(".text\n_start:\nnop\nebreak\n")
+        machine = BareMetalMachine(program, num_cores=1)
+        hart = machine.harts[0]
+        hart.step()
+        event = machine.check_htif(hart.accesses, hart)
+        assert not event.exited

@@ -1,0 +1,78 @@
+"""Tests for the RAW-dependency scoreboard."""
+
+import pytest
+
+from repro.spike.scoreboard import Scoreboard
+
+
+class TestRegistration:
+    def test_register_and_complete(self):
+        sb = Scoreboard(2)
+        miss = sb.register_miss(0, (("x", 5),))
+        assert sb.blocks(0, (("x", 5),))
+        assert sb.complete_miss(miss) == 0
+        assert not sb.blocks(0, (("x", 5),))
+
+    def test_miss_ids_unique(self):
+        sb = Scoreboard(1)
+        ids = {sb.register_miss(0, ()) for _ in range(10)}
+        assert len(ids) == 10
+
+    def test_per_core_isolation(self):
+        sb = Scoreboard(2)
+        sb.register_miss(0, (("x", 5),))
+        assert not sb.blocks(1, (("x", 5),))
+
+    def test_empty_registers_never_block(self):
+        sb = Scoreboard(1)
+        sb.register_miss(0, ())
+        assert not sb.blocks(0, ())
+        assert not sb.blocks(0, (("x", 1),))
+
+
+class TestCounting:
+    def test_register_held_until_all_misses_complete(self):
+        """A vector load with several line misses releases its register
+        only when the last miss is serviced."""
+        sb = Scoreboard(1)
+        first = sb.register_miss(0, (("v", 3),))
+        second = sb.register_miss(0, (("v", 3),))
+        sb.complete_miss(first)
+        assert sb.blocks(0, (("v", 3),))
+        sb.complete_miss(second)
+        assert not sb.blocks(0, (("v", 3),))
+
+    def test_different_register_classes_distinct(self):
+        sb = Scoreboard(1)
+        sb.register_miss(0, (("x", 3),))
+        assert not sb.blocks(0, (("f", 3),))
+        assert not sb.blocks(0, (("v", 3),))
+
+    def test_blocks_on_any_of_several(self):
+        sb = Scoreboard(1)
+        sb.register_miss(0, (("f", 1),))
+        assert sb.blocks(0, (("x", 2), ("f", 1)))
+
+
+class TestQueries:
+    def test_outstanding_counts(self):
+        sb = Scoreboard(2)
+        a = sb.register_miss(0, ())
+        sb.register_miss(1, ())
+        assert sb.outstanding() == 2
+        assert sb.outstanding(0) == 1
+        sb.complete_miss(a)
+        assert sb.outstanding() == 1
+        assert sb.outstanding(0) == 0
+
+    def test_busy_registers(self):
+        sb = Scoreboard(1)
+        sb.register_miss(0, (("x", 5), ("x", 6)))
+        assert sb.busy_registers(0) == {("x", 5), ("x", 6)}
+
+    def test_double_complete_raises(self):
+        sb = Scoreboard(1)
+        miss = sb.register_miss(0, ())
+        sb.complete_miss(miss)
+        with pytest.raises(KeyError):
+            sb.complete_miss(miss)

@@ -1,0 +1,175 @@
+"""Differential testing of the vector unit against numpy semantics.
+
+For every integer vector binop, at every SEW, hypothesis generates
+random operand vectors; the expected result is computed with numpy
+fixed-width arrays (an independent implementation of the semantics).
+FP ops are checked at SEW 64 against float64 numpy arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_hart, run_until_ebreak
+
+VLEN = 256
+
+_DTYPES = {8: (np.uint8, np.int8), 16: (np.uint16, np.int16),
+           32: (np.uint32, np.int32), 64: (np.uint64, np.int64)}
+
+
+def _np_vector_op(op: str, a: np.ndarray, b: np.ndarray,
+                  sew: int) -> np.ndarray:
+    unsigned, signed = _DTYPES[sew]
+    ua, ub = a.astype(unsigned), b.astype(unsigned)
+    sa, sb = ua.astype(signed), ub.astype(signed)
+    shift = (ub & unsigned(sew - 1)).astype(unsigned)
+    with np.errstate(over="ignore"):
+        if op == "vadd":
+            return (ua + ub).astype(unsigned)
+        if op == "vsub":
+            return (ua - ub).astype(unsigned)
+        if op == "vmul":
+            return (ua * ub).astype(unsigned)
+        if op == "vand":
+            return ua & ub
+        if op == "vor":
+            return ua | ub
+        if op == "vxor":
+            return ua ^ ub
+        if op == "vsll":
+            return (ua << shift).astype(unsigned)
+        if op == "vsrl":
+            return (ua >> shift).astype(unsigned)
+        if op == "vsra":
+            return (sa >> shift.astype(signed)).astype(unsigned)
+        if op == "vmin":
+            return np.minimum(sa, sb).astype(unsigned)
+        if op == "vminu":
+            return np.minimum(ua, ub)
+        if op == "vmax":
+            return np.maximum(sa, sb).astype(unsigned)
+        if op == "vmaxu":
+            return np.maximum(ua, ub)
+        if op == "vmulhu":
+            wide = ua.astype(object) * ub.astype(object)
+            return np.array([int(x) >> sew for x in wide],
+                            dtype=unsigned)
+        if op == "vmulh":
+            wide = sa.astype(object) * sb.astype(object)
+            return np.array([(int(x) >> sew) & ((1 << sew) - 1)
+                             for x in wide], dtype=unsigned)
+    raise AssertionError(op)
+
+
+_ELEMENT = st.integers(min_value=0, max_value=(1 << 64) - 1)
+_OPS = ["vadd", "vsub", "vmul", "vand", "vor", "vxor", "vsll", "vsrl",
+        "vsra", "vmin", "vminu", "vmax", "vmaxu", "vmulh", "vmulhu"]
+
+
+def _run_vector_binop(op, sew, a_values, b_values):
+    count = len(a_values)
+    elem_bytes = sew // 8
+    mask = (1 << sew) - 1
+
+    def emit(label, values):
+        lines = [f"{label}:"]
+        for value in values:
+            directive = {1: ".byte", 2: ".half", 4: ".word",
+                         8: ".dword"}[elem_bytes]
+            lines.append(f"    {directive} {value & mask}")
+        return "\n".join(lines) + "\n"
+
+    source = f""".text
+_start:
+    li   a2, {count}
+    vsetvli a1, a2, e{sew}, m1, ta, ma
+    la   a0, va
+    vle{sew}.v v1, (a0)
+    la   a0, vb
+    vle{sew}.v v2, (a0)
+    {op}.vv v3, v1, v2
+    la   a0, vout
+    vse{sew}.v v3, (a0)
+    ebreak
+.data
+.align 3
+{emit('va', a_values)}
+.align 3
+{emit('vb', b_values)}
+.align 3
+vout: .zero {count * elem_bytes}
+"""
+    hart = make_hart(source, vlen_bits=VLEN)
+    run_until_ebreak(hart)
+    out_address = hart.program_symbols["vout"]
+    raw = hart.memory.load_bytes(out_address, count * elem_bytes)
+    unsigned, _signed = _DTYPES[sew]
+    return np.frombuffer(raw, dtype=unsigned)
+
+
+@pytest.mark.parametrize("sew", [8, 16, 32, 64])
+@pytest.mark.parametrize("op", _OPS)
+@settings(max_examples=6, deadline=None)
+@given(data=st.data())
+def test_vector_binop_matches_numpy(op, sew, data):
+    unsigned, _signed = _DTYPES[sew]
+    count = data.draw(st.integers(min_value=1,
+                                  max_value=VLEN // sew))
+    a_values = data.draw(st.lists(_ELEMENT, min_size=count,
+                                  max_size=count))
+    b_values = data.draw(st.lists(_ELEMENT, min_size=count,
+                                  max_size=count))
+    mask = (1 << sew) - 1
+    a = np.array([value & mask for value in a_values], dtype=unsigned)
+    b = np.array([value & mask for value in b_values], dtype=unsigned)
+    actual = _run_vector_binop(op, sew, a_values, b_values)
+    expected = _np_vector_op(op, a, b, sew)
+    assert np.array_equal(actual, expected), \
+        f"{op}.vv e{sew}: {actual} != {expected} (a={a}, b={b})"
+
+
+class TestVectorFpDifferential:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e10, max_value=1e10,
+                              allow_nan=False),
+                    min_size=1, max_size=4),
+           st.lists(st.floats(min_value=-1e10, max_value=1e10,
+                              allow_nan=False),
+                    min_size=1, max_size=4),
+           st.sampled_from(["vfadd", "vfsub", "vfmul", "vfmin",
+                            "vfmax"]))
+    def test_fp_binop_matches_numpy(self, a_list, b_list, op):
+        count = min(len(a_list), len(b_list))
+        a = np.array(a_list[:count])
+        b = np.array(b_list[:count])
+        reference = {"vfadd": a + b, "vfsub": a - b, "vfmul": a * b,
+                     "vfmin": np.minimum(a, b),
+                     "vfmax": np.maximum(a, b)}[op]
+        source = f""".text
+_start:
+    li   a2, {count}
+    vsetvli a1, a2, e64, m1, ta, ma
+    la   a0, va
+    vle64.v v1, (a0)
+    la   a0, vb
+    vle64.v v2, (a0)
+    {op}.vv v3, v1, v2
+    la   a0, vout
+    vse64.v v3, (a0)
+    ebreak
+.data
+.align 3
+va: .double {', '.join(repr(float(x)) for x in a)}
+vb: .double {', '.join(repr(float(x)) for x in b)}
+vout: .zero {8 * count}
+"""
+        hart = make_hart(source, vlen_bits=VLEN)
+        run_until_ebreak(hart)
+        raw = hart.memory.load_bytes(hart.program_symbols["vout"],
+                                     8 * count)
+        actual = np.frombuffer(raw, dtype=np.float64)
+        assert np.array_equal(actual, reference)

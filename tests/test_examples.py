@@ -1,0 +1,43 @@
+"""Smoke tests: the shipped examples must run cleanly end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+# The fast examples run in CI-style tests; the heavier sweeps are
+# exercised by the benchmarks instead.
+FAST_EXAMPLES = ["quickstart.py"]
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=600)
+
+
+def test_examples_directory_complete():
+    present = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "spmv_design_space.py",
+            "stencil_scaling.py", "paraver_trace_analysis.py",
+            "throughput_scaling.py", "codesign_compression.py",
+            "sweep_api.py"} <= present
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr
+    assert "matches numpy: True" in result.stdout
+
+
+def test_every_example_compiles():
+    """All examples must at least be importable/compilable."""
+    for path in EXAMPLES_DIR.glob("*.py"):
+        source = path.read_text()
+        compile(source, str(path), "exec")
+        assert '"""' in source, f"{path.name} lacks a docstring"
+        assert "def main(" in source, f"{path.name} lacks main()"

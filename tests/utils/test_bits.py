@@ -1,0 +1,150 @@
+"""Tests for fixed-width bit-manipulation helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.utils.bitops as b
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert b.mask(0) == 0
+
+    def test_small_widths(self):
+        assert b.mask(1) == 1
+        assert b.mask(3) == 0b111
+        assert b.mask(8) == 0xFF
+
+    def test_word_widths(self):
+        assert b.mask(32) == b.MASK32
+        assert b.mask(64) == b.MASK64
+
+    def test_negative_width_raises(self):
+        with pytest.raises(ValueError):
+            b.mask(-1)
+
+
+class TestSignExtend:
+    def test_positive_stays_positive(self):
+        assert b.sign_extend(0x7F, 8) == 127
+
+    def test_negative_byte(self):
+        assert b.sign_extend(0xFF, 8) == -1
+        assert b.sign_extend(0x80, 8) == -128
+
+    def test_already_masked_input(self):
+        # Bits above `width` must be ignored.
+        assert b.sign_extend(0xABCD_00FF, 8) == -1
+
+    def test_word_boundary(self):
+        assert b.sign_extend(0x8000_0000, 32) == -(1 << 31)
+        assert b.sign_extend(0x7FFF_FFFF, 32) == (1 << 31) - 1
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            b.sign_extend(0, 0)
+
+    @given(st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1))
+    def test_roundtrip_64(self, value):
+        assert b.sign_extend(b.to_unsigned(value, 64), 64) == value
+
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_idempotent(self, value, width):
+        value &= b.mask(width)
+        once = b.sign_extend(value, width)
+        assert b.sign_extend(once & b.mask(width), width) == once
+
+
+class TestFieldAccess:
+    def test_bits_extract(self):
+        assert b.bits(0b110100, 5, 2) == 0b1101
+
+    def test_bits_single(self):
+        assert b.bits(0b100, 2, 2) == 1
+
+    def test_bits_bad_range(self):
+        with pytest.raises(ValueError):
+            b.bits(0, 1, 2)
+
+    def test_bit(self):
+        assert b.bit(0b1000, 3) == 1
+        assert b.bit(0b1000, 2) == 0
+
+    def test_set_bits(self):
+        assert b.set_bits(0, 7, 4, 0xA) == 0xA0
+
+    def test_set_bits_overwrites(self):
+        assert b.set_bits(0xFF, 7, 4, 0x0) == 0x0F
+
+    def test_set_bits_truncates_field(self):
+        assert b.set_bits(0, 3, 0, 0x1F) == 0xF
+
+    @given(st.integers(min_value=0, max_value=b.MASK32),
+           st.integers(min_value=0, max_value=31),
+           st.integers(min_value=0, max_value=31))
+    def test_set_then_get(self, value, hi, lo):
+        if hi < lo:
+            hi, lo = lo, hi
+        field = 0b1010101 & b.mask(hi - lo + 1)
+        updated = b.set_bits(value, hi, lo, field)
+        assert b.bits(updated, hi, lo) == field
+
+
+class TestPowersAndAlignment:
+    def test_is_power_of_two(self):
+        assert b.is_power_of_two(1)
+        assert b.is_power_of_two(1024)
+        assert not b.is_power_of_two(0)
+        assert not b.is_power_of_two(3)
+        assert not b.is_power_of_two(-4)
+
+    def test_clog2_exact(self):
+        assert b.clog2(1) == 0
+        assert b.clog2(64) == 6
+
+    def test_clog2_rounds_up(self):
+        assert b.clog2(65) == 7
+        assert b.clog2(3) == 2
+
+    def test_clog2_invalid(self):
+        with pytest.raises(ValueError):
+            b.clog2(0)
+
+    def test_align_down(self):
+        assert b.align_down(0x1234, 0x100) == 0x1200
+        assert b.align_down(0x1200, 0x100) == 0x1200
+
+    def test_align_up(self):
+        assert b.align_up(0x1234, 0x100) == 0x1300
+        assert b.align_up(0x1200, 0x100) == 0x1200
+
+    def test_align_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            b.align_up(0, 3)
+
+    def test_is_aligned(self):
+        assert b.is_aligned(0x1000, 0x1000)
+        assert not b.is_aligned(0x1001, 0x1000)
+
+    @given(st.integers(min_value=0, max_value=1 << 48),
+           st.integers(min_value=0, max_value=20))
+    def test_align_bracket(self, value, shift):
+        alignment = 1 << shift
+        down = b.align_down(value, alignment)
+        up = b.align_up(value, alignment)
+        assert down <= value <= up
+        assert up - down in (0, alignment)
+
+
+class TestTruncate:
+    def test_truncate_default_64(self):
+        assert b.truncate(1 << 64) == 0
+
+    def test_truncate_to_byte(self):
+        assert b.truncate(0x1FF, 8) == 0xFF
+
+    def test_to_unsigned_negative(self):
+        assert b.to_unsigned(-1, 8) == 0xFF
+        assert b.to_unsigned(-1) == b.MASK64
