@@ -1,0 +1,75 @@
+"""Telemetry overhead — enabled vs disabled on the Figure 3 workload.
+
+The observability subsystem promises near-zero cost when off: the
+orchestrator hoists every hook into loop locals that stay ``None``, so
+the disabled run pays a handful of local ``is None`` tests per cycle.
+This bench runs the same fig3-style scalar-matmul throughput workload
+twice — once with the default (disabled) ``TelemetryConfig`` and once
+with the sampler + histograms + host profiler on — so the pair can be
+compared in one benchmark report.
+
+Run just this pair with::
+
+    pytest benchmarks/test_telemetry_overhead.py --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import bench_coyote
+from repro.coyote import SimulationConfig, TelemetryConfig
+from repro.kernels import scalar_matmul
+
+CORES = 8
+MATMUL_SIZE = 24
+SAMPLE_INTERVAL = 1000
+
+TELEMETRY_MODES = {
+    "disabled": TelemetryConfig(),
+    "enabled": TelemetryConfig(sample_interval=SAMPLE_INTERVAL,
+                               histograms=True, host_profile=True),
+}
+
+
+@pytest.mark.parametrize("mode", sorted(TELEMETRY_MODES))
+def test_telemetry_overhead(benchmark, mode):
+    """Same workload, telemetry off vs on; compare the two rows."""
+    telemetry = TELEMETRY_MODES[mode]
+    config = SimulationConfig.for_cores(CORES, telemetry=telemetry)
+    results = bench_coyote(
+        benchmark,
+        lambda: scalar_matmul(size=MATMUL_SIZE, num_cores=CORES),
+        config, label=f"telemetry-{mode}")
+    benchmark.extra_info["telemetry"] = mode
+
+    # Telemetry must never perturb the simulated outcome, only host time.
+    assert results.cycles > 0
+    if telemetry.enabled:
+        assert results.timeseries is not None
+        assert results.timeseries.total_delta("cores.instructions") > 0
+        assert results.latency is not None
+        assert results.host_profile is not None
+    else:
+        assert results.timeseries is None
+        assert results.latency is None
+        assert results.host_profile is None
+    print(f"\n[telemetry][{mode}] cores={CORES} "
+          f"host_mips={results.host_mips:.4f} cycles={results.cycles}")
+
+
+def test_telemetry_does_not_change_simulation():
+    """Cycle counts and counters are bit-identical with telemetry on."""
+    from benchmarks.conftest import run_coyote
+
+    def run(telemetry):
+        config = SimulationConfig.for_cores(4, telemetry=telemetry)
+        return run_coyote(scalar_matmul(size=12, num_cores=4), config)
+
+    plain = run(TelemetryConfig())
+    instrumented = run(TelemetryConfig(sample_interval=256,
+                                       histograms=True, host_profile=True))
+    assert instrumented.cycles == plain.cycles
+    assert instrumented.instructions == plain.instructions
+    assert {s.full_name: s.value for s in instrumented.hierarchy_samples} \
+        == {s.full_name: s.value for s in plain.hierarchy_samples}

@@ -6,10 +6,12 @@ from repro.coyote.simulation import Simulation
 from repro.coyote.stats import CoreStats, SimulationResults
 from repro.coyote.sweep import Sweep, SweepPoint, SweepTable
 from repro.coyote.trace import MissTraceRecorder
+from repro.telemetry import TelemetryConfig
 
 __all__ = [
     "CoreStats",
     "MissTraceRecorder",
+    "TelemetryConfig",
     "Orchestrator",
     "Simulation",
     "SimulationConfig",

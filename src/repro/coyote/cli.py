@@ -10,12 +10,18 @@ the paper lists as simulation outputs.  Example::
 from __future__ import annotations
 
 import argparse
+import json
+import logging
+import os
 import sys
 
 from repro.coyote.config import SimulationConfig
 from repro.coyote.simulation import Simulation
 from repro.kernels import KERNELS
 from repro.memhier.mapping import policy_names
+from repro.telemetry import TelemetryConfig
+
+DEFAULT_SAMPLE_INTERVAL = 1000
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -52,7 +58,52 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--save-config", metavar="JSON", default=None,
                         help="write the effective configuration to a "
                              "JSON file and continue")
+    telemetry = parser.add_argument_group("telemetry")
+    telemetry.add_argument("--metrics-out", metavar="JSON", default=None,
+                           help="write the full results (counters, "
+                                "time series, latency histograms, host "
+                                "profile) as a JSON document")
+    telemetry.add_argument("--chrome-trace", metavar="JSON", default=None,
+                           help="write a Chrome trace-event JSON file "
+                                "(open in Perfetto / chrome://tracing)")
+    telemetry.add_argument("--sample-interval", type=int, default=0,
+                           metavar="CYCLES",
+                           help="cycles between interval samples "
+                                "(default: %(default)s = off; "
+                                f"--metrics-out implies "
+                                f"{DEFAULT_SAMPLE_INTERVAL})")
+    telemetry.add_argument("--progress", action="store_true",
+                           help="log a periodic progress heartbeat and "
+                                "print the host wall-time breakdown")
+    telemetry.add_argument("--log-level", default=None,
+                           choices=("debug", "info", "warning", "error"),
+                           help="logging verbosity (--progress implies "
+                                "info)")
     return parser
+
+
+def telemetry_from_args(args: argparse.Namespace,
+                        base: TelemetryConfig | None = None,
+                        ) -> TelemetryConfig:
+    """Fold the CLI telemetry flags into a TelemetryConfig.
+
+    Flags layer on top of ``base`` (the telemetry section of a loaded
+    ``--config`` file), so an explicit ``--sample-interval`` in either
+    place survives and ``--metrics-out`` only implies the default grid
+    when neither specified one.
+    """
+    base = base or TelemetryConfig()
+    sample_interval = args.sample_interval or base.sample_interval
+    if args.metrics_out is not None and not sample_interval:
+        sample_interval = DEFAULT_SAMPLE_INTERVAL
+    return TelemetryConfig(
+        sample_interval=sample_interval,
+        histograms=base.histograms or args.metrics_out is not None,
+        chrome_trace=base.chrome_trace or args.chrome_trace is not None,
+        progress=base.progress or args.progress,
+        progress_cycles=base.progress_cycles,
+        host_profile=(base.host_profile or args.progress
+                      or args.metrics_out is not None))
 
 
 def make_workload(kernel: str, cores: int, size: int | None):
@@ -72,7 +123,21 @@ def make_workload(kernel: str, cores: int, size: int | None):
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.sample_interval < 0:
+        parser.error(f"--sample-interval must be >= 0, "
+                     f"got {args.sample_interval}")
+    for path in (args.metrics_out, args.chrome_trace):
+        if path is not None:
+            directory = os.path.dirname(path) or "."
+            if not os.path.isdir(directory):
+                parser.error(f"output directory does not exist: "
+                             f"{directory}")
+    if args.log_level is not None or args.progress:
+        logging.basicConfig(
+            level=getattr(logging, (args.log_level or "info").upper()),
+            format="%(asctime)s %(name)s %(levelname)s %(message)s")
     if args.config is not None:
         config = SimulationConfig.load(args.config)
         if args.trace is not None:
@@ -85,6 +150,9 @@ def main(argv: list[str] | None = None) -> int:
             noc_latency=args.noc_latency, mem_latency=args.mem_latency,
             vlen_bits=args.vlen, trace_misses=args.trace is not None)
         cores = args.cores
+    telemetry = telemetry_from_args(args, config.telemetry)
+    if telemetry.enabled:
+        config.telemetry = telemetry
     if args.save_config is not None:
         config.save(args.save_config)
     workload = make_workload(args.kernel, cores, args.size)
@@ -100,10 +168,44 @@ def main(argv: list[str] | None = None) -> int:
     if args.hierarchy_stats:
         print("\n-- modelled hierarchy --")
         print(results.hierarchy_report())
+    if args.progress and results.host_profile is not None:
+        profiler = simulation.telemetry.profiler
+        print(profiler.format_report())
     if args.trace is not None:
         prv, pcf = simulation.write_trace(args.trace)
         print(f"trace written        : {prv} / {pcf}")
-    return 0 if verified and results.succeeded() else 1
+    if args.chrome_trace is not None:
+        path = simulation.write_chrome_trace(args.chrome_trace)
+        print(f"chrome trace written : {path}")
+    if args.metrics_out is not None:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(results.to_dict(), handle, indent=1)
+            handle.write("\n")
+        print(f"metrics written      : {args.metrics_out}")
+
+    ok = verified and results.succeeded()
+    if not ok:
+        _report_failure(workload, results)
+    return 0 if ok else 1
+
+
+def _report_failure(workload, results) -> None:
+    """Explain a nonzero exit on stderr (which cores / what mismatched)."""
+    print(f"FAILED: kernel {workload.name!r} did not complete cleanly",
+          file=sys.stderr)
+    nonzero = {core: code for core, code in results.exit_codes.items()
+               if code != 0}
+    if nonzero:
+        for core, code in sorted(nonzero.items()):
+            print(f"  core {core} exited with code {code}",
+                  file=sys.stderr)
+    missing = sorted(set(range(results.num_cores))
+                     - set(results.exit_codes))
+    if missing:
+        print(f"  cores {missing} never reached exit", file=sys.stderr)
+    if not nonzero and not missing:
+        print("  all cores exited 0 but the kernel output did not match "
+              "the expected result (verify mismatch)", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -14,6 +14,7 @@ from pathlib import Path
 
 from repro.memhier.hierarchy import MemHierConfig
 from repro.spike.simulator import L1Config
+from repro.telemetry.config import TelemetryConfig
 from repro.utils.bitops import is_power_of_two
 
 DEFAULT_CORES_PER_TILE = 8   # one VAS tile holds eight cores (paper §I-A)
@@ -26,6 +27,7 @@ class SimulationConfig:
 
     memhier: MemHierConfig = field(default_factory=MemHierConfig)
     l1: L1Config = field(default_factory=L1Config)
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
     vlen_bits: int = 512
     max_cycles: int = 200_000_000
     trace_misses: bool = False
@@ -40,6 +42,7 @@ class SimulationConfig:
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent settings."""
         self.memhier.validate()
+        self.telemetry.validate()
         if self.vlen_bits % 64 or self.vlen_bits < 64:
             raise ValueError(f"VLEN must be a positive multiple of 64, "
                              f"got {self.vlen_bits}")
@@ -100,11 +103,13 @@ class SimulationConfig:
         data = dict(data)
         memhier = MemHierConfig(**data.pop("memhier", {}))
         l1 = L1Config(**data.pop("l1", {}))
-        known = set(cls.__dataclass_fields__) - {"memhier", "l1"}
+        telemetry = TelemetryConfig(**data.pop("telemetry", {}))
+        known = set(cls.__dataclass_fields__) - {"memhier", "l1",
+                                                "telemetry"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown config keys: {sorted(unknown)}")
-        return cls(memhier=memhier, l1=l1, **data)
+        return cls(memhier=memhier, l1=l1, telemetry=telemetry, **data)
 
     def save(self, path: str | Path) -> Path:
         """Write the configuration as JSON."""

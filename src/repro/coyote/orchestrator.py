@@ -34,6 +34,8 @@ from repro.spike.machine import BareMetalMachine
 from repro.spike.scoreboard import Scoreboard
 from repro.spike.simulator import AccessKind, CoreModel, StepStatus
 from repro.sparta.scheduler import Scheduler
+from repro.telemetry.chrome_trace import EXECUTING, FETCH_STALL, RAW_STALL
+from repro.telemetry.hub import Telemetry
 
 
 class SimulationError(Exception):
@@ -86,6 +88,20 @@ class Orchestrator:
         # cycles spent with exactly N active cores (N = 0 during
         # fast-forwarded stall periods).
         self._activity: dict[int, int] = {}
+        # Opt-in observability: all hooks stay None when disabled so the
+        # hot loop never touches them.
+        self.telemetry: Telemetry | None = None
+        self._chrome = None
+        if config.telemetry.enabled:
+            self.telemetry = Telemetry(config.telemetry, config.num_cores,
+                                       self._collect_telemetry_values)
+            sink = self.telemetry.request_sink()
+            if sink is not None:
+                self.hierarchy.telemetry_sink = sink
+            observer = self.telemetry.noc_observer()
+            if observer is not None:
+                self.hierarchy.noc.latency_observer = observer
+            self._chrome = self.telemetry.chrome
 
     # -- completion plumbing ---------------------------------------------------
 
@@ -117,6 +133,9 @@ class Orchestrator:
     def _wake(self, core_id: int) -> None:
         if not self.cores[core_id].halted:
             self._active.add(core_id)
+            if self._chrome is not None:
+                self._chrome.set_state(core_id, EXECUTING,
+                                       self.scheduler.current_cycle)
 
     def _submit_misses(self, core_id: int, misses) -> int | None:
         """Send one step's misses into the hierarchy.
@@ -180,6 +199,21 @@ class Orchestrator:
         remaining_cores = config.num_cores
         total_instructions = 0
 
+        # Telemetry hooks, hoisted into locals: when telemetry is
+        # disabled each stays None and the loop pays only a handful of
+        # local is-None tests per cycle (no attribute lookups).
+        telemetry = self.telemetry
+        sampler = chrome = profiler = heartbeat = None
+        if telemetry is not None:
+            sampler = telemetry.sampler
+            chrome = telemetry.chrome
+            profiler = telemetry.profiler
+            if profiler is not None and config.telemetry.progress:
+                heartbeat = profiler
+            if sampler is not None:
+                sampler.start(scheduler.current_cycle)
+        clock = time.perf_counter
+
         while remaining_cores:
             if scheduler.current_cycle >= config.max_cycles:
                 raise SimulationError(
@@ -198,14 +232,26 @@ class Orchestrator:
                         f"cores {stalled} stalled with no pending events")
                 skipped = next_event - scheduler.current_cycle + 1
                 self._activity[0] = self._activity.get(0, 0) + skipped
+                if profiler is not None:
+                    section_start = clock()
                 scheduler.advance_to(next_event)
                 scheduler.advance_cycle()
+                if profiler is not None:
+                    profiler.sparta_seconds += clock() - section_start
+                if sampler is not None:
+                    sampler.maybe_sample(scheduler.current_cycle)
+                if heartbeat is not None:
+                    heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                              total_instructions,
+                                              scheduler.events_fired)
                 continue
 
             active_now = len(active)
             self._activity[active_now] = \
                 self._activity.get(active_now, 0) + 1
 
+            if profiler is not None:
+                section_start = clock()
             for core_id in sorted(active):
                 core = cores[core_id]
                 state = states[core_id]
@@ -221,6 +267,9 @@ class Orchestrator:
                     active.discard(core_id)
                     self._raw_waiting.add(core_id)
                     state.stall_start = scheduler.current_cycle
+                    if chrome is not None:
+                        chrome.set_state(core_id, RAW_STALL,
+                                         scheduler.current_cycle)
                     continue
 
                 try:
@@ -246,26 +295,86 @@ class Orchestrator:
                         state.stall_start = scheduler.current_cycle
                         self._fetch_waits[fetch_id] = core_id
                         active.discard(core_id)
+                        if chrome is not None:
+                            chrome.set_state(core_id, FETCH_STALL,
+                                             scheduler.current_cycle)
 
                 if core.halted:
                     state.halt_cycle = scheduler.current_cycle
                     active.discard(core_id)
                     remaining_cores -= 1
+                    if chrome is not None:
+                        chrome.halt(core_id, scheduler.current_cycle)
+            if profiler is not None:
+                now_wall = clock()
+                profiler.spike_seconds += now_wall - section_start
+                section_start = now_wall
 
             # Advance Sparta in sync with functional execution;
             # completions fired here re-activate stalled cores.
             scheduler.advance_cycle()
+            if profiler is not None:
+                profiler.sparta_seconds += clock() - section_start
+            if sampler is not None:
+                sampler.maybe_sample(scheduler.current_cycle)
+            if heartbeat is not None:
+                heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                          total_instructions,
+                                          scheduler.events_fired)
 
         # Drain requests still in flight when the last core halted, so
         # the final statistics balance (submitted == completed).
         drain_start = scheduler.current_cycle
+        if profiler is not None:
+            section_start = clock()
         scheduler.run_until_idle()
+        if profiler is not None:
+            profiler.sparta_seconds += clock() - section_start
         drained = scheduler.current_cycle - drain_start
         if drained:
             self._activity[0] = self._activity.get(0, 0) + drained
 
         wall_seconds = time.perf_counter() - start_wall
-        return self._build_results(total_instructions, wall_seconds)
+        if profiler is not None:
+            section_start = clock()
+        if sampler is not None:
+            sampler.finalize(scheduler.current_cycle)
+        if chrome is not None:
+            chrome.finalize(scheduler.current_cycle)
+        results = self._build_results(total_instructions, wall_seconds)
+        if profiler is not None:
+            profiler.stats_seconds += clock() - section_start
+            results.host_profile = profiler.to_dict()
+        return results
+
+    # -- telemetry --------------------------------------------------------------
+
+    def _collect_telemetry_values(self) -> dict[str, float]:
+        """One flat snapshot of every counter the sampler tracks.
+
+        Hierarchy counters keep their dotted unit names; functional-side
+        aggregates are added under ``cores.*`` and the activity
+        histogram under ``activity.<N>``.
+        """
+        values = self.hierarchy.collect_values()
+        instructions = 0
+        l1d_accesses = l1d_misses = l1i_accesses = l1i_misses = 0
+        for core in self.cores:
+            instructions += core.instructions
+            l1d = core.l1d.stats
+            l1i = core.l1i.stats
+            l1d_accesses += l1d.accesses
+            l1d_misses += l1d.misses
+            l1i_accesses += l1i.accesses
+            l1i_misses += l1i.misses
+        values["cores.instructions"] = instructions
+        values["cores.l1d_accesses"] = l1d_accesses
+        values["cores.l1d_misses"] = l1d_misses
+        values["cores.l1i_accesses"] = l1i_accesses
+        values["cores.l1i_misses"] = l1i_misses
+        for count, cycles in self._activity.items():
+            values[f"activity.{count}"] = cycles
+        return values
 
     # -- results ---------------------------------------------------------------
 
@@ -282,6 +391,7 @@ class Orchestrator:
                 exit_code=self.machine.exit_codes.get(core.core_id),
                 l1i=core.l1i.stats,
                 l1d=core.l1d.stats))
+        telemetry = self.telemetry
         return SimulationResults(
             cycles=self.scheduler.current_cycle,
             instructions=total_instructions,
@@ -291,4 +401,6 @@ class Orchestrator:
             console=self.machine.console_text(),
             exit_codes=dict(self.machine.exit_codes),
             events_fired=self.scheduler.events_fired,
-            activity=dict(sorted(self._activity.items())))
+            activity=dict(sorted(self._activity.items())),
+            timeseries=telemetry.sampler if telemetry else None,
+            latency=telemetry.latency if telemetry else None)

@@ -31,6 +31,8 @@ class Simulation:
         if config.trace_misses:
             self.trace = MissTraceRecorder()
             self.orchestrator.hierarchy.trace_sink = self.trace
+        # The telemetry hub (None unless config.telemetry enables it).
+        self.telemetry = self.orchestrator.telemetry
         self._results: SimulationResults | None = None
 
     def run(self) -> SimulationResults:
@@ -58,3 +60,14 @@ class Simulation:
         results = self.results
         return self.trace.write(basepath, self.config.num_cores,
                                 results.cycles)
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Write the recorded Chrome trace-event JSON (Perfetto)."""
+        if self.telemetry is None or self.telemetry.chrome is None:
+            raise SimulationError(
+                "Chrome tracing was not enabled "
+                "(SimulationConfig.telemetry.chrome_trace)")
+        if self._results is None:
+            # The builder is only finalised at end-of-run.
+            raise SimulationError("simulation has not been run")
+        return self.telemetry.chrome.write(path)

@@ -7,10 +7,12 @@ time of the simulated application and a trace of L1 misses".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, field
 
 from repro.spike.l1cache import L1Stats
 from repro.sparta.statistics import StatSample, format_report
+from repro.telemetry.histogram import RequestLatencyRecorder
+from repro.telemetry.sampler import IntervalSampler
 
 
 @dataclass
@@ -42,6 +44,13 @@ class SimulationResults:
     # cycles spent with exactly N cores actively issuing (N = 0 while
     # every live core was stalled on the memory system).
     activity: dict[int, int] | None = None
+    # Opt-in telemetry products (None unless the matching collector ran).
+    timeseries: IntervalSampler | None = None
+    latency: RequestLatencyRecorder | None = None
+    host_profile: dict | None = None
+    # Lazily-built full_name -> sample index over hierarchy_samples.
+    _index: dict[str, StatSample] | None = field(
+        default=None, init=False, repr=False, compare=False)
 
     # -- derived metrics -----------------------------------------------------
 
@@ -81,17 +90,22 @@ class SimulationResults:
         misses = sum(core.l1i.misses for core in self.cores)
         return misses / accesses if accesses else 0.0
 
+    def _sample_index(self) -> dict[str, StatSample]:
+        """The name index, built on first use (full names are unique —
+        the unit tree rejects duplicate child names)."""
+        if self._index is None:
+            self._index = {sample.full_name: sample
+                           for sample in self.hierarchy_samples}
+        return self._index
+
     def hierarchy_value(self, full_name: str) -> float:
-        """Look up one hierarchy statistic by full dotted name."""
-        for sample in self.hierarchy_samples:
-            if sample.full_name == full_name:
-                return sample.value
-        raise KeyError(full_name)
+        """Look up one hierarchy statistic by full dotted name (O(1))."""
+        return self._sample_index()[full_name].value
 
     def bank_utilisation(self) -> dict[str, int]:
         """Requests received per L2 bank (for load-balance analysis)."""
         result = {}
-        for sample in self.hierarchy_samples:
+        for sample in self._sample_index().values():
             if sample.name == "requests" and ".bank" in sample.path:
                 result[sample.path.rsplit(".", 1)[-1]] = int(sample.value)
         return result
@@ -120,6 +134,59 @@ class SimulationResults:
         if not total_cycles:
             return 0.0
         return self.activity.get(0, 0) / total_cycles
+
+    # -- machine-readable export -----------------------------------------------
+
+    def to_dict(self, include_console: bool = True) -> dict:
+        """A JSON-serialisable view of the full results.
+
+        Includes every derived metric, per-core statistics, the flat
+        hierarchy counter table, and — when the matching telemetry
+        collector ran — the sampled time series, latency histograms and
+        host wall-time profile.
+        """
+        data = {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "wall_seconds": self.wall_seconds,
+            "ipc": self.ipc,
+            "host_mips": self.host_mips,
+            "events_fired": self.events_fired,
+            "raw_stall_cycles": self.raw_stall_cycles,
+            "fetch_stall_cycles": self.fetch_stall_cycles,
+            "l1d_miss_rate": self.l1d_miss_rate(),
+            "l1i_miss_rate": self.l1i_miss_rate(),
+            "average_active_cores": self.average_active_cores(),
+            "stalled_fraction": self.stalled_fraction(),
+            "succeeded": self.succeeded(),
+            "exit_codes": {str(core): code
+                           for core, code in self.exit_codes.items()},
+            "activity": {str(count): cycles for count, cycles
+                         in (self.activity or {}).items()},
+            "cores": [
+                {
+                    "core_id": core.core_id,
+                    "instructions": core.instructions,
+                    "raw_stall_cycles": core.raw_stall_cycles,
+                    "fetch_stall_cycles": core.fetch_stall_cycles,
+                    "halt_cycle": core.halt_cycle,
+                    "exit_code": core.exit_code,
+                    "l1d": asdict(core.l1d),
+                    "l1i": asdict(core.l1i),
+                }
+                for core in self.cores],
+            "hierarchy": {sample.full_name: sample.value
+                          for sample in self.hierarchy_samples},
+        }
+        if include_console:
+            data["console"] = self.console
+        if self.timeseries is not None:
+            data["timeseries"] = self.timeseries.to_dict()
+        if self.latency is not None:
+            data["latency_histograms"] = self.latency.to_dict()
+        if self.host_profile is not None:
+            data["host_profile"] = self.host_profile
+        return data
 
     # -- reporting -------------------------------------------------------------
 

@@ -80,7 +80,14 @@ class SweepTable:
 
 
 class Sweep:
-    """A cartesian design-space sweep over configuration axes."""
+    """A cartesian design-space sweep over configuration axes.
+
+    Any extra keyword (``**base_overrides``) is applied to every point's
+    configuration — including ``telemetry=TelemetryConfig(...)``, so an
+    ablation study collects interval time series and latency histograms
+    at each point for free (``point.results.timeseries`` /
+    ``point.results.latency``).
+    """
 
     def __init__(self, base_cores: int, axes: dict[str, list],
                  **base_overrides):

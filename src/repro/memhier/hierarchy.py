@@ -121,6 +121,9 @@ class MemoryHierarchy:
         self.root = Unit("memhier", scheduler=scheduler)
         self.on_complete: Callable[[MemRequest], None] | None = None
         self.trace_sink: Callable[[MemRequest], None] | None = None
+        # Optional observability hook (latency histograms, Chrome trace):
+        # fired with each completed request, after trace_sink.
+        self.telemetry_sink: Callable[[MemRequest], None] | None = None
 
         noc_kwargs = ({"latency": config.noc_latency}
                       if config.noc_kind == "crossbar"
@@ -283,6 +286,8 @@ class MemoryHierarchy:
         self._stat_total_latency.increment(request.latency)
         if self.trace_sink is not None:
             self.trace_sink(request)
+        if self.telemetry_sink is not None:
+            self.telemetry_sink(request)
         if self.on_complete is None:
             raise RuntimeError("MemoryHierarchy.on_complete is not wired")
         self.on_complete(request)
@@ -292,6 +297,10 @@ class MemoryHierarchy:
     def collect_stats(self) -> list[StatSample]:
         """Statistics of every unit in the hierarchy."""
         return self.root.collect_stats()
+
+    def collect_values(self) -> dict[str, float]:
+        """Statistics as a flat ``full_name -> value`` mapping (cheap)."""
+        return self.root.collect_values()
 
     def outstanding(self) -> int:
         """Response-needing requests still inside the hierarchy."""

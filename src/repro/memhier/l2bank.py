@@ -80,6 +80,8 @@ class CacheBank(Unit):
             "mshr_stalls", "requests queued because the MSHR file was full")
         self._stat_occupancy = stats.gauge("mshr_occupancy",
                                            "in-flight misses")
+        self._stat_queue = stats.gauge(
+            "pending_queue", "requests waiting for a free MSHR")
         self._stat_conflicts = stats.counter(
             "port_conflict_cycles",
             "cycles requests waited for the bank port")
@@ -174,6 +176,7 @@ class CacheBank(Unit):
         if len(self._mshrs) >= self.max_in_flight:
             self._stat_stalled.increment()
             self._pending.append(request)
+            self._stat_queue.set(len(self._pending))
             return
         self._allocate_mshr(request)
 
@@ -193,7 +196,9 @@ class CacheBank(Unit):
                    self._next_level_of(request.line_address), fill)
 
     def _drain_pending(self) -> None:
+        drained = False
         while self._pending and len(self._mshrs) < self.max_in_flight:
+            drained = True
             request = self._pending.popleft()
             waiters = self._mshrs.get(request.line_address)
             if waiters is not None:
@@ -201,6 +206,8 @@ class CacheBank(Unit):
                 self._stat_coalesced.increment()
                 continue
             self._allocate_mshr(request)
+        if drained:
+            self._stat_queue.set(len(self._pending))
 
     def _respond(self, request: MemRequest) -> None:
         self._send(self.endpoint, request.fill_target, request)

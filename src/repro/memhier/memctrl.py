@@ -56,12 +56,17 @@ class MemoryController(Unit):
             "busy_cycles", "cycles the channel transferred data")
         self._stat_prefetches = stats.counter(
             "prefetches", "sequential lines prefetched (extension)")
+        self._stat_queue = stats.gauge(
+            "queue_depth",
+            "requests queued behind the busy channel (at arrival)")
 
     def handle_request(self, request: MemRequest) -> None:
         """A fill request or writeback arrived from an L2 bank."""
         now = self.scheduler.current_cycle
         start = max(now, self._next_free_cycle)
         self._stat_queue_cycles.increment(start - now)
+        # Backlog seen by this request, in whole requests-ahead-of-us.
+        self._stat_queue.set((start - now) // self.cycles_per_request)
         # An MCPU-aggregated request transfers all its member lines
         # back-to-back on the channel.
         transfer_cycles = self.cycles_per_request * request.num_lines

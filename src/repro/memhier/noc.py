@@ -37,6 +37,9 @@ class CrossbarNoC(Unit):
         self._messages = self.stats.counter(
             "messages", "payloads routed through the NoC")
         self._link_counts: dict[tuple[str, str], int] = {}
+        # Optional observability hook: called with each routed message's
+        # traversal latency (telemetry histograms). None = no overhead.
+        self.latency_observer: Callable[[int], None] | None = None
 
     def attach(self, endpoint: str, handler: Callable[[Any], None]) -> None:
         """Register a named endpoint."""
@@ -58,9 +61,11 @@ class CrossbarNoC(Unit):
         self._messages.increment()
         link = (source, destination)
         self._link_counts[link] = self._link_counts.get(link, 0) + 1
-        self.scheduler.schedule(handler,
-                                self.route_latency(source, destination),
-                                (payload,))
+        latency = self.route_latency(source, destination)
+        observer = self.latency_observer
+        if observer is not None:
+            observer(latency)
+        self.scheduler.schedule(handler, latency, (payload,))
 
     def link_utilisation(self) -> dict[tuple[str, str], int]:
         """Messages per (source, destination) pair."""

@@ -86,6 +86,20 @@ class StatisticSet:
         self._gauges[name] = gauge
         return gauge
 
+    def values_into(self, out: dict[str, float]) -> None:
+        """Write every statistic as ``full_name -> value`` into ``out``.
+
+        The allocation-light sibling of :meth:`samples`, used by the
+        telemetry interval sampler which snapshots the whole tree many
+        times per run.
+        """
+        prefix = self._owner_path + "." if self._owner_path else ""
+        for counter in self._counters.values():
+            out[prefix + counter.name] = counter.value
+        for gauge in self._gauges.values():
+            out[prefix + gauge.name] = gauge.value
+            out[prefix + gauge.name + ".peak"] = gauge.peak
+
     def samples(self) -> list[StatSample]:
         """Snapshot every statistic as report samples."""
         result = [StatSample(self._owner_path, counter.name, counter.value,

@@ -72,3 +72,14 @@ class Unit:
         for unit in self.walk():
             samples.extend(unit.stats.samples())
         return samples
+
+    def collect_values(self) -> dict[str, float]:
+        """Collect this subtree's statistics as ``full_name -> value``.
+
+        Cheaper than :meth:`collect_stats` (no :class:`StatSample`
+        objects); the telemetry sampler calls this once per interval.
+        """
+        values: dict[str, float] = {}
+        for unit in self.walk():
+            unit.stats.values_into(values)
+        return values

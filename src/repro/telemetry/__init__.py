@@ -1,0 +1,34 @@
+"""Opt-in observability for Coyote runs.
+
+Four collectors, all disabled by default and wired through
+:class:`~repro.telemetry.config.TelemetryConfig`:
+
+* :class:`~repro.telemetry.sampler.IntervalSampler` — cycle-interval
+  snapshots of every counter, exposed as per-interval delta series;
+* :class:`~repro.telemetry.histogram.RequestLatencyRecorder` —
+  log2-bucketed latency histograms per request kind and component;
+* :class:`~repro.telemetry.chrome_trace.ChromeTraceBuilder` — Chrome
+  trace-event JSON export (Perfetto / ``chrome://tracing``);
+* :class:`~repro.telemetry.profiler.HostProfiler` — host wall-time
+  breakdown and a progress heartbeat.
+"""
+
+from repro.telemetry.chrome_trace import ChromeTraceBuilder
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.histogram import LatencyHistogram, \
+    RequestLatencyRecorder
+from repro.telemetry.hub import Telemetry
+from repro.telemetry.profiler import HostProfiler
+from repro.telemetry.sampler import Interval, IntervalSampler, Snapshot
+
+__all__ = [
+    "ChromeTraceBuilder",
+    "HostProfiler",
+    "Interval",
+    "IntervalSampler",
+    "LatencyHistogram",
+    "RequestLatencyRecorder",
+    "Snapshot",
+    "Telemetry",
+    "TelemetryConfig",
+]

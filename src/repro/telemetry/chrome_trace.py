@@ -1,0 +1,120 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+Complements the Paraver writer with the other trace format HPC people
+reach for: the builder records core activity spans (executing /
+raw-stall / fetch-stall) as complete ``"X"`` events and request
+lifetimes as async ``"b"``/``"e"`` pairs, then writes the standard
+``{"traceEvents": [...]}`` JSON object.  One simulated cycle maps to one
+microsecond of trace time (the unit the viewers assume for ``ts``).
+
+Format reference: the Trace Event Format document (the subset emitted
+here — M/X/b/e/i phases — loads in both Perfetto and chrome://tracing).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.memhier.request import MemRequest
+
+CORE_PID = 1       # process grouping all core activity tracks
+REQUEST_PID = 2    # process grouping request-lifetime tracks
+
+EXECUTING = "executing"
+RAW_STALL = "raw-stall"
+FETCH_STALL = "fetch-stall"
+
+
+class ChromeTraceBuilder:
+    """Collects trace events during a run; writes them as JSON."""
+
+    def __init__(self, num_cores: int):
+        self.num_cores = num_cores
+        self.events: list[dict] = []
+        # Per-core open span: (state name, start cycle).
+        self._open: list[tuple[str, int] | None] = \
+            [(EXECUTING, 0) for _ in range(num_cores)]
+        for core_id in range(num_cores):
+            self._metadata("thread_name", CORE_PID, core_id,
+                           f"core {core_id}")
+            self._metadata("thread_name", REQUEST_PID, core_id,
+                           f"core {core_id} requests")
+        self._metadata("process_name", CORE_PID, 0, "coyote cores")
+        self._metadata("process_name", REQUEST_PID, 0,
+                       "coyote memory requests")
+
+    def _metadata(self, name: str, pid: int, tid: int, label: str) -> None:
+        self.events.append({"ph": "M", "name": name, "pid": pid,
+                            "tid": tid, "args": {"name": label}})
+
+    # -- core activity spans ------------------------------------------------
+
+    def set_state(self, core_id: int, state: str, cycle: int) -> None:
+        """Transition one core's activity track to ``state``."""
+        open_span = self._open[core_id]
+        if open_span is not None:
+            previous, start = open_span
+            if previous == state:
+                return
+            self._emit_span(core_id, previous, start, cycle)
+        self._open[core_id] = (state, cycle)
+
+    def halt(self, core_id: int, cycle: int) -> None:
+        """Close the core's track and drop a halt marker."""
+        open_span = self._open[core_id]
+        if open_span is not None:
+            state, start = open_span
+            self._emit_span(core_id, state, start, cycle)
+            self._open[core_id] = None
+        self.events.append({"ph": "i", "name": "halt", "pid": CORE_PID,
+                            "tid": core_id, "ts": cycle, "s": "t"})
+
+    def _emit_span(self, core_id: int, state: str, start: int,
+                   end: int) -> None:
+        if end <= start:
+            return  # zero-length transition (stall retried same cycle)
+        self.events.append({"ph": "X", "name": state, "cat": "core",
+                            "pid": CORE_PID, "tid": core_id,
+                            "ts": start, "dur": end - start})
+
+    # -- request lifetimes --------------------------------------------------
+
+    def observe_request(self, request: MemRequest) -> None:
+        """Record one completed request as an async begin/end pair."""
+        name = request.kind.value
+        common = {"cat": "request", "name": name, "pid": REQUEST_PID,
+                  "tid": request.core_id, "id": request.request_id}
+        args = {"line_address": f"{request.line_address:#x}",
+                "bank": request.bank_id, "mc": request.mc_id,
+                "l2_hit": request.l2_hit,
+                "latency": request.complete_cycle - request.issue_cycle}
+        self.events.append({**common, "ph": "b", "ts": request.issue_cycle,
+                            "args": args})
+        self.events.append({**common, "ph": "e",
+                            "ts": request.complete_cycle})
+
+    # -- output -------------------------------------------------------------
+
+    def finalize(self, end_cycle: int) -> None:
+        """Close any still-open core spans at the end of the run."""
+        for core_id, open_span in enumerate(self._open):
+            if open_span is not None:
+                state, start = open_span
+                self._emit_span(core_id, state, start, end_cycle)
+                self._open[core_id] = None
+
+    def to_json(self) -> dict:
+        """The trace as a JSON-serialisable trace-event object."""
+        return {
+            "traceEvents": self.events,
+            "displayTimeUnit": "ms",
+            "otherData": {"tool": "coyote-repro",
+                          "time_unit": "1 ts = 1 simulated cycle"},
+        }
+
+    def write(self, path: str | Path) -> Path:
+        """Write the trace-event JSON file."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json()) + "\n")
+        return path

@@ -1,0 +1,62 @@
+"""Telemetry configuration.
+
+Everything here is opt-in: the default configuration disables every
+collector, and the orchestrator's hot loop performs no per-cycle work on
+behalf of a disabled collector (hooks are hoisted into locals that are
+``None`` when nothing is attached).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TelemetryConfig:
+    """What to collect during a run (defaults: collect nothing).
+
+    sample_interval
+        Cycles between interval-sampler snapshots; ``0`` disables the
+        sampler.  Each snapshot captures every modelled-hierarchy
+        counter plus per-core progress, and consecutive snapshots are
+        exposed as per-interval deltas (IPC-over-time, miss-rate-over-
+        time, ...).
+    histograms
+        Record log2-bucketed latency histograms per request kind and
+        per component (L2 hit vs memory round-trip, per bank, per
+        memory controller, NoC traversal).
+    chrome_trace
+        Record core activity spans and request lifetimes for export as
+        Chrome trace-event JSON (Perfetto / ``chrome://tracing``).
+    progress
+        Emit a periodic progress heartbeat (simulated cycles/sec,
+        events/sec, host MIPS) through the ``repro.telemetry`` logger.
+    progress_cycles
+        Simulated cycles between heartbeat checks.
+    host_profile
+        Measure the host wall-time breakdown: Spike stepping vs Sparta
+        event advancing vs statistics collection.
+    """
+
+    sample_interval: int = 0
+    histograms: bool = False
+    chrome_trace: bool = False
+    progress: bool = False
+    progress_cycles: int = 65536
+    host_profile: bool = False
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` for inconsistent settings."""
+        if self.sample_interval < 0:
+            raise ValueError(
+                f"sample_interval must be >= 0, got {self.sample_interval}")
+        if self.progress_cycles < 1:
+            raise ValueError(
+                f"progress_cycles must be >= 1, got {self.progress_cycles}")
+
+    @property
+    def enabled(self) -> bool:
+        """True when any collector is switched on."""
+        return bool(self.sample_interval or self.histograms
+                    or self.chrome_trace or self.progress
+                    or self.host_profile)

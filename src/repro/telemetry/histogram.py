@@ -1,0 +1,156 @@
+"""Log2-bucketed latency histograms.
+
+Request latencies span orders of magnitude (an L2 hit is tens of cycles,
+a queued memory round-trip can be thousands), so buckets double in width:
+bucket 0 holds latency 0, bucket *i* holds latencies in
+``[2**(i-1), 2**i - 1]``.  Recording is O(1) and allocation-free once a
+bucket exists, cheap enough to run on every completed request.
+"""
+
+from __future__ import annotations
+
+from repro.memhier.request import MemRequest
+
+
+class LatencyHistogram:
+    """One log2-bucketed distribution of cycle latencies."""
+
+    __slots__ = ("name", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.buckets: list[int] = []
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+
+    def record(self, latency: int) -> None:
+        """Add one observation (negative latencies are clamped to 0)."""
+        if latency < 0:
+            latency = 0
+        index = latency.bit_length()
+        buckets = self.buckets
+        if index >= len(buckets):
+            buckets.extend([0] * (index + 1 - len(buckets)))
+        buckets[index] += 1
+        self.count += 1
+        self.total += latency
+        if self.min is None or latency < self.min:
+            self.min = latency
+        if self.max is None or latency > self.max:
+            self.max = latency
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @staticmethod
+    def bucket_bounds(index: int) -> tuple[int, int]:
+        """Inclusive ``(low, high)`` latency range of one bucket."""
+        if index == 0:
+            return (0, 0)
+        return (1 << (index - 1), (1 << index) - 1)
+
+    def percentile(self, fraction: float) -> int:
+        """Upper bound of the bucket holding the given quantile."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+        if not self.count:
+            return 0
+        threshold = fraction * self.count
+        seen = 0
+        for index, bucket in enumerate(self.buckets):
+            seen += bucket
+            if seen >= threshold:
+                # Clamp the bucket's upper bound to the observed range.
+                return min(self.bucket_bounds(index)[1], self.max)
+        return self.max
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable view."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                {"low": self.bucket_bounds(i)[0],
+                 "high": self.bucket_bounds(i)[1],
+                 "count": bucket}
+                for i, bucket in enumerate(self.buckets) if bucket],
+        }
+
+    def __repr__(self) -> str:
+        return (f"<LatencyHistogram {self.name} n={self.count} "
+                f"mean={self.mean:.1f}>")
+
+
+class RequestLatencyRecorder:
+    """Latency histograms per request kind and per component.
+
+    Hooks the hierarchy's telemetry sink (completed requests) and the
+    NoC's latency observer (per-message traversal cost).  Keys:
+
+    * ``kind.load`` / ``kind.store`` / ``kind.ifetch`` — end-to-end
+      latency by request kind;
+    * ``l2_hit`` / ``memory_roundtrip`` — end-to-end latency split by
+      whether the L2 bank hit;
+    * ``bank.bankN`` — end-to-end latency of requests served via bank N;
+    * ``mc.mcN`` — end-to-end latency of requests that reached memory
+      controller N;
+    * ``noc`` — single NoC traversal latency per routed message.
+    """
+
+    def __init__(self):
+        self.histograms: dict[str, LatencyHistogram] = {}
+
+    def _histogram(self, key: str) -> LatencyHistogram:
+        histogram = self.histograms.get(key)
+        if histogram is None:
+            histogram = LatencyHistogram(key)
+            self.histograms[key] = histogram
+        return histogram
+
+    def record(self, key: str, latency: int) -> None:
+        self._histogram(key).record(latency)
+
+    def observe_request(self, request: MemRequest) -> None:
+        """The hierarchy telemetry-sink entry point."""
+        latency = request.complete_cycle - request.issue_cycle
+        self.record(f"kind.{request.kind.value}", latency)
+        if request.l2_hit is not None:
+            self.record("l2_hit" if request.l2_hit else "memory_roundtrip",
+                        latency)
+        if request.bank_id >= 0:
+            self.record(f"bank.bank{request.bank_id}", latency)
+        if request.mc_id >= 0:
+            self.record(f"mc.mc{request.mc_id}", latency)
+
+    def observe_noc(self, latency: int) -> None:
+        """The NoC latency-observer entry point."""
+        self.record("noc", latency)
+
+    def to_dict(self) -> dict:
+        return {key: histogram.to_dict()
+                for key, histogram in sorted(self.histograms.items())}
+
+    def format_report(self) -> str:
+        """Aligned text table: count / mean / p50 / p99 / max per key."""
+        if not self.histograms:
+            return "(no latency samples)"
+        rows = [("histogram", "count", "mean", "p50", "p99", "max")]
+        for key in sorted(self.histograms):
+            histogram = self.histograms[key]
+            rows.append((key, str(histogram.count),
+                         f"{histogram.mean:.1f}",
+                         str(histogram.percentile(0.50)),
+                         str(histogram.percentile(0.99)),
+                         str(histogram.max or 0)))
+        widths = [max(len(row[i]) for row in rows)
+                  for i in range(len(rows[0]))]
+        lines = ["  ".join(cell.ljust(width)
+                           for cell, width in zip(row, widths))
+                 for row in rows]
+        return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""The per-run telemetry hub.
+
+One :class:`Telemetry` instance owns every collector enabled by a
+:class:`~repro.telemetry.config.TelemetryConfig` and hands the
+orchestrator the hooks it needs.  Collectors that are off stay ``None``
+so call sites can hoist them into locals and skip all work — disabled
+telemetry must cost nothing on the simulation's hot path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.memhier.request import MemRequest
+from repro.telemetry.chrome_trace import ChromeTraceBuilder
+from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.histogram import RequestLatencyRecorder
+from repro.telemetry.profiler import HostProfiler
+from repro.telemetry.sampler import IntervalSampler
+
+
+class Telemetry:
+    """Every enabled collector of one simulation run."""
+
+    def __init__(self, config: TelemetryConfig, num_cores: int,
+                 collect: Callable[[], dict[str, float]]):
+        config.validate()
+        self.config = config
+        self.sampler: IntervalSampler | None = None
+        if config.sample_interval:
+            self.sampler = IntervalSampler(config.sample_interval, collect)
+        self.latency: RequestLatencyRecorder | None = None
+        if config.histograms:
+            self.latency = RequestLatencyRecorder()
+        self.chrome: ChromeTraceBuilder | None = None
+        if config.chrome_trace:
+            self.chrome = ChromeTraceBuilder(num_cores)
+        self.profiler: HostProfiler | None = None
+        if config.host_profile or config.progress:
+            self.profiler = HostProfiler(config.progress_cycles)
+
+    def request_sink(self) -> Callable[[MemRequest], None] | None:
+        """A completed-request callback, or None when nothing listens."""
+        latency = self.latency
+        chrome = self.chrome
+        if latency is not None and chrome is not None:
+            def sink(request: MemRequest) -> None:
+                latency.observe_request(request)
+                chrome.observe_request(request)
+            return sink
+        if latency is not None:
+            return latency.observe_request
+        if chrome is not None:
+            return chrome.observe_request
+        return None
+
+    def noc_observer(self) -> Callable[[int], None] | None:
+        """A per-message NoC latency callback, or None."""
+        if self.latency is not None:
+            return self.latency.observe_noc
+        return None

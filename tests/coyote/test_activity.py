@@ -29,6 +29,23 @@ class TestActivityProfile:
         results = run(workload, 2)
         assert 0.0 < results.average_active_cores() <= 2.0
 
+    def test_activity_sums_through_fast_forward(self):
+        """Fully-stalled (fast-forwarded) periods land in activity[0]
+        and the histogram still sums to the total cycle count."""
+        results = run(stream_triad(length=256, num_cores=1), 1,
+                      mem_latency=800)
+        assert results.activity.get(0, 0) > 0
+        assert sum(results.activity.values()) == results.cycles
+
+    def test_activity_sums_through_drain(self):
+        """Requests in flight when the last core halts drain at the end;
+        those cycles are accounted as zero-active cycles."""
+        results = run(stream_triad(length=256, num_cores=2), 2,
+                      mem_latency=400)
+        halt = max(core.halt_cycle for core in results.cores)
+        assert results.cycles > halt  # a drain period existed
+        assert sum(results.activity.values()) == results.cycles
+
     def test_memory_bound_has_more_stall(self):
         """A slower memory raises the fully-stalled fraction."""
         fast = run(stream_triad(length=512, num_cores=2), 2,

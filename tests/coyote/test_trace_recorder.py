@@ -35,6 +35,14 @@ class TestRecorder:
         recorder(make_request(RequestKind.WRITEBACK))
         assert len(recorder) == 0
 
+    def test_skips_unknown_request_kinds(self):
+        """Kinds outside the miss-kind map are dropped, not crashed on."""
+        recorder = MissTraceRecorder()
+        request = make_request(RequestKind.LOAD)
+        request.kind = "not-a-kind"
+        recorder(request)
+        assert len(recorder) == 0
+
     def test_record_fields(self):
         recorder = MissTraceRecorder()
         recorder(make_request(RequestKind.LOAD))
@@ -42,6 +50,23 @@ class TestRecorder:
         assert record.core_id == 2
         assert record.bank_id == 3
         assert record.latency == 140
+        assert record.l2_hit is False
+
+    def test_record_carries_l2_hit_flag(self):
+        recorder = MissTraceRecorder()
+        request = make_request(RequestKind.LOAD, complete=40)
+        request.l2_hit = True
+        recorder(request)
+        assert recorder.records[0].l2_hit is True
+
+    def test_record_carries_bank_id_per_request(self):
+        recorder = MissTraceRecorder()
+        for bank_id in (0, 5, 11):
+            request = make_request(RequestKind.LOAD)
+            request.bank_id = bank_id
+            recorder(request)
+        assert [record.bank_id for record in recorder.records] \
+            == [0, 5, 11]
 
     def test_write_produces_parseable_triple(self, tmp_path):
         recorder = MissTraceRecorder()

@@ -1,0 +1,70 @@
+"""Tests for the host-side profiler and progress heartbeat."""
+
+import logging
+
+import pytest
+
+from repro.coyote import Simulation, SimulationConfig, TelemetryConfig
+from repro.kernels import scalar_matmul
+from repro.telemetry.profiler import HostProfiler
+
+
+class TestHostProfiler:
+    def test_sections_accumulate(self):
+        profiler = HostProfiler()
+        profiler.spike_seconds += 0.5
+        profiler.sparta_seconds += 0.25
+        data = profiler.to_dict()
+        assert data["spike_seconds"] == pytest.approx(0.5)
+        assert data["sparta_seconds"] == pytest.approx(0.25)
+        assert data["wall_seconds"] >= 0.0
+
+    def test_format_report_mentions_all_sections(self):
+        report = HostProfiler().format_report()
+        for section in ("spike", "sparta", "stats", "other", "total"):
+            assert section in report
+
+    def test_heartbeat_fires_on_boundary(self, caplog):
+        profiler = HostProfiler(progress_cycles=100)
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            assert not profiler.maybe_heartbeat(50, 10, 5)
+            assert profiler.maybe_heartbeat(100, 20, 10)
+            assert not profiler.maybe_heartbeat(150, 30, 15)
+            assert profiler.maybe_heartbeat(230, 40, 20)
+        messages = [record.message for record in caplog.records]
+        assert len(messages) == 2
+        assert all("progress" in message for message in messages)
+        assert "cycle=100" in messages[0]
+
+    def test_heartbeat_realigns_after_jump(self):
+        profiler = HostProfiler(progress_cycles=100)
+        assert profiler.maybe_heartbeat(730, 0, 0)
+        assert not profiler.maybe_heartbeat(799, 0, 0)
+        assert profiler.maybe_heartbeat(800, 0, 0)
+
+
+class TestEndToEnd:
+    def test_host_profile_in_results(self):
+        config = SimulationConfig.for_cores(
+            2, telemetry=TelemetryConfig(host_profile=True))
+        workload = scalar_matmul(size=8, num_cores=2)
+        results = Simulation(config, workload.program).run()
+        profile = results.host_profile
+        assert profile is not None
+        assert profile["spike_seconds"] > 0.0
+        assert profile["sparta_seconds"] > 0.0
+        # Sections must not exceed the total wall time they partition.
+        measured = (profile["spike_seconds"] + profile["sparta_seconds"]
+                    + profile["stats_seconds"])
+        assert measured <= profile["wall_seconds"]
+
+    def test_progress_heartbeat_logged(self, caplog):
+        config = SimulationConfig.for_cores(
+            2, telemetry=TelemetryConfig(progress=True,
+                                         progress_cycles=500))
+        workload = scalar_matmul(size=8, num_cores=2)
+        with caplog.at_level(logging.INFO, logger="repro.telemetry"):
+            results = Simulation(config, workload.program).run()
+        assert results.cycles > 500
+        assert any("progress" in record.message
+                   for record in caplog.records)
