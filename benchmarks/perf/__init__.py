@@ -1,0 +1,8 @@
+"""Host-performance benchmarks for the simulation hot loop.
+
+Unlike the ``benchmarks/test_*`` suite (which reproduces the paper's
+*simulated* figures), this package measures the *host* cost of
+simulation: cycles/second and wall time of the orchestrator's hot loop,
+with an optional differential run against the straight-line reference
+loop.  See ``benchmarks/perf/hotloop.py``.
+"""

@@ -1,0 +1,237 @@
+"""Hot-loop performance harness.
+
+Runs a small set of representative workloads — a multi-core scalar
+matmul (loop-overhead bound) and high-memory-latency SpMV / vector
+matmul configurations (fast-forward bound) — and records host
+cycles/second and wall time via the existing host profiler.  Every run
+appends one trajectory entry to ``BENCH_hotloop.json`` at the repo
+root, so the hot loop's host performance over the project's history
+stays inspectable.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.perf.hotloop
+    PYTHONPATH=src python -m benchmarks.perf.hotloop --compare-reference
+    PYTHONPATH=src python -m benchmarks.perf.hotloop --quick \
+        --check benchmarks/perf/baseline.json --tolerance 0.30
+    PYTHONPATH=src python -m benchmarks.perf.hotloop --update-baseline
+
+``--compare-reference`` additionally times the straight-line reference
+loop (``Orchestrator.use_reference_loop``) and verifies both loops
+produce identical results before reporting the speedup.
+
+``--check`` compares measured cycles/second against a committed
+baseline and exits non-zero when any workload regresses by more than
+``--tolerance`` (a fraction; default 0.30).  The committed baseline is
+deliberately conservative — about a third of a warm development-machine
+run — so the CI gate catches order-of-magnitude regressions (an
+accidentally quadratic loop, a lost fast-forward) rather than host
+jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.coyote import Simulation, SimulationConfig
+from repro.kernels import scalar_matmul, scalar_spmv, vector_matmul
+from repro.telemetry.config import TelemetryConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_hotloop.json"
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
+
+
+def _telemetry(profile: bool) -> TelemetryConfig:
+    return TelemetryConfig(host_profile=profile)
+
+
+WORKLOADS = {
+    # Loop-overhead bound: eight cores live most cycles.
+    "matmul-8core": (
+        lambda: scalar_matmul(size=16, num_cores=8),
+        lambda profile=False: SimulationConfig.for_cores(
+            8, telemetry=_telemetry(profile)),
+    ),
+    # Fast-forward bound: long all-stalled gaps between events.
+    "spmv-1core-himem": (
+        lambda: scalar_spmv(num_rows=24, num_cores=1),
+        lambda profile=False: SimulationConfig.for_cores(
+            1, mem_latency=3000, telemetry=_telemetry(profile)),
+    ),
+    "spmv-2core-himem": (
+        lambda: scalar_spmv(num_rows=24, num_cores=2),
+        lambda profile=False: SimulationConfig.for_cores(
+            2, mem_latency=3000, telemetry=_telemetry(profile)),
+    ),
+    "vmatmul-1core-himem": (
+        lambda: vector_matmul(size=12, num_cores=1),
+        lambda profile=False: SimulationConfig.for_cores(
+            1, mem_latency=2000, telemetry=_telemetry(profile)),
+    ),
+}
+
+QUICK_WORKLOADS = ("matmul-8core", "spmv-1core-himem")
+
+
+def _results_digest(results) -> str:
+    """Hash of the simulated outcome, excluding host-side timing."""
+    data = results.to_dict()
+    for key in ("wall_seconds", "host_mips", "host_profile"):
+        data.pop(key, None)
+    payload = json.dumps(data, sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def run_workload(name: str, reps: int, reference: bool = False) -> dict:
+    """Best-of-``reps`` timing of one workload; returns its record.
+
+    Timing repetitions run with telemetry disabled so the measurement
+    is of the bare hot loop; one extra run with the host profiler
+    enabled captures the Spike/Sparta wall-time breakdown.
+    """
+    make_workload, make_config = WORKLOADS[name]
+    best = None
+    for _ in range(reps):
+        workload = make_workload()
+        simulation = Simulation(make_config(), workload.program)
+        simulation.orchestrator.use_reference_loop = reference
+        start = time.perf_counter()
+        results = simulation.run()
+        wall = time.perf_counter() - start
+        if not results.succeeded():
+            raise SystemExit(f"{name}: non-zero exit")
+        if best is None or wall < best["wall_seconds"]:
+            best = {
+                "wall_seconds": round(wall, 6),
+                "cycles": results.cycles,
+                "instructions": results.instructions,
+                "cycles_per_sec": round(results.cycles / wall, 1),
+                "host_mips": round(results.host_mips, 4),
+                "digest": _results_digest(results),
+            }
+
+    profiled = Simulation(make_config(profile=True),
+                          make_workload().program)
+    profiled.orchestrator.use_reference_loop = reference
+    profile = profiled.run().host_profile or {}
+    best["spike_seconds"] = round(profile.get("spike_seconds", 0.0), 6)
+    best["sparta_seconds"] = round(profile.get("sparta_seconds", 0.0), 6)
+    return best
+
+
+def run_suite(names, reps: int, compare_reference: bool) -> dict:
+    records = {}
+    for name in names:
+        record = run_workload(name, reps)
+        if compare_reference:
+            reference = run_workload(name, reps, reference=True)
+            if reference["digest"] != record["digest"]:
+                raise SystemExit(
+                    f"{name}: reference and optimised loops diverged")
+            record["reference_wall_seconds"] = reference["wall_seconds"]
+            record["speedup_vs_reference"] = round(
+                reference["wall_seconds"] / record["wall_seconds"], 3)
+        records[name] = record
+        line = (f"{name}: {record['cycles']} cycles in "
+                f"{record['wall_seconds']:.3f}s "
+                f"({record['cycles_per_sec']:,.0f} cycles/s, "
+                f"{record['host_mips']:.3f} MIPS)")
+        if compare_reference:
+            line += f"  speedup vs reference: " \
+                    f"{record['speedup_vs_reference']:.2f}x"
+        print(line)
+    return records
+
+
+def append_trajectory(records: dict) -> None:
+    history = []
+    if TRAJECTORY_PATH.exists():
+        history = json.loads(TRAJECTORY_PATH.read_text())
+    history.append({
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "workloads": records,
+    })
+    TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended trajectory entry -> {TRAJECTORY_PATH}")
+
+
+def check_baseline(records: dict, baseline_path: Path,
+                   tolerance: float) -> bool:
+    baseline = json.loads(baseline_path.read_text())["workloads"]
+    ok = True
+    for name, record in records.items():
+        reference = baseline.get(name)
+        if reference is None:
+            continue
+        floor = reference["cycles_per_sec"] * (1.0 - tolerance)
+        measured = record["cycles_per_sec"]
+        verdict = "ok" if measured >= floor else "REGRESSED"
+        print(f"check {name}: {measured:,.0f} cycles/s vs baseline "
+              f"{reference['cycles_per_sec']:,.0f} "
+              f"(floor {floor:,.0f}) -> {verdict}")
+        if measured < floor:
+            ok = False
+    return ok
+
+
+def update_baseline(records: dict, baseline_path: Path,
+                    derate: float) -> None:
+    baseline = {
+        "note": (f"cycles/sec derated to {derate:.0%} of a measured "
+                 f"best-of run; the CI gate fails below "
+                 f"(1 - tolerance) of these values"),
+        "workloads": {
+            name: {"cycles_per_sec":
+                   round(record["cycles_per_sec"] * derate, 1)}
+            for name, record in records.items()
+        },
+    }
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"baseline written -> {baseline_path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--reps", type=int, default=3,
+                        help="repetitions per workload (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="run the two-workload CI subset")
+    parser.add_argument("--compare-reference", action="store_true",
+                        help="also time the reference loop and verify "
+                             "identical results")
+    parser.add_argument("--check", type=Path, metavar="BASELINE",
+                        help="fail when cycles/sec regresses past the "
+                             "tolerance vs this baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.30,
+                        help="allowed fractional regression for --check")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the committed baseline from this "
+                             "run (derated)")
+    parser.add_argument("--baseline-path", type=Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="do not append to BENCH_hotloop.json")
+    args = parser.parse_args(argv)
+
+    names = QUICK_WORKLOADS if args.quick else tuple(WORKLOADS)
+    records = run_suite(names, args.reps, args.compare_reference)
+
+    if not args.no_trajectory:
+        append_trajectory(records)
+    if args.update_baseline:
+        update_baseline(records, args.baseline_path, derate=1 / 3)
+    if args.check is not None:
+        if not check_baseline(records, args.check, args.tolerance):
+            print("performance regression detected", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,11 +17,28 @@ miss (re-checked each cycle via the scoreboard) and an instruction-fetch
 miss (the core waits for that specific fill).  When every live core is
 stalled the orchestrator fast-forwards the clock to the next scheduled
 event — a pure optimisation with identical observable behaviour.
+
+Two hot-loop optimisations keep host time proportional to simulated
+work (docs/INTERNALS.md, "The hot loop & fast-forward"):
+
+* the active-core list is kept incrementally sorted (bisect on wake,
+  in-place delete on stall/halt) instead of re-sorted every cycle;
+* when exactly one core is live and unstalled, a *run-ahead batch*
+  executes instructions back to back until the next scheduled event,
+  a miss, a stall or a halt — provably the same sequence of
+  (instruction, cycle) pairs the per-cycle loop produces, because with
+  one core there is nothing to interleave with and no event can fire
+  inside the batch window.
+
+``use_reference_loop = True`` selects the original straight-line
+per-cycle loop; the differential tests run both and assert bit-identical
+results, statistics and traces.
 """
 
 from __future__ import annotations
 
 import time
+from bisect import insort
 from dataclasses import dataclass
 
 from repro.assembler.program import Program
@@ -32,7 +49,12 @@ from repro.memhier.request import MemRequest, RequestKind
 from repro.spike.hart import EnvironmentCall, Trap
 from repro.spike.machine import BareMetalMachine
 from repro.spike.scoreboard import Scoreboard
-from repro.spike.simulator import AccessKind, CoreModel, StepStatus
+from repro.spike.simulator import (
+    CLEAN_STEP,
+    AccessKind,
+    CoreModel,
+    StepStatus,
+)
 from repro.sparta.scheduler import Scheduler
 from repro.telemetry.chrome_trace import EXECUTING, FETCH_STALL, RAW_STALL
 from repro.telemetry.hub import Telemetry
@@ -80,14 +102,21 @@ class Orchestrator:
         self.scoreboard = Scoreboard(config.num_cores)
         self._states = [_CoreState() for _ in range(config.num_cores)]
         self._fetch_waits: dict[int, int] = {}  # request_id -> core_id
-        # Cores ready to attempt execution; stalled cores leave this set
-        # and are re-inserted by the completion that might unblock them
+        # Cores ready to attempt execution; stalled cores leave and are
+        # re-inserted by the completion that might unblock them
         # (event-driven wakeup: a stalled core costs nothing per cycle).
-        self._active: set[int] = set(range(config.num_cores))
+        # The list is kept sorted incrementally — bisect on wake,
+        # in-place delete on stall/halt — so the cycle loop never sorts;
+        # the set mirrors it for O(1) membership tests.
+        self._active_list: list[int] = list(range(config.num_cores))
+        self._active_set: set[int] = set(self._active_list)
         self._raw_waiting: set[int] = set()
         # cycles spent with exactly N active cores (N = 0 during
         # fast-forwarded stall periods).
         self._activity: dict[int, int] = {}
+        # Differential-testing escape hatch: run the original
+        # straight-line per-cycle loop instead of the optimised one.
+        self.use_reference_loop = False
         # Opt-in observability: all hooks stay None when disabled so the
         # hot loop never touches them.
         self.telemetry: Telemetry | None = None
@@ -115,7 +144,6 @@ class Orchestrator:
         else:
             core_id = self.scoreboard.complete_miss(request.request_id)
         now = self.scheduler.current_cycle
-        state = self._states[core_id]
         waiting_core = self._fetch_waits.pop(request.request_id, None)
         if waiting_core is not None:
             wait_state = self._states[waiting_core]
@@ -126,13 +154,15 @@ class Orchestrator:
             # One of this core's fills returned; let it retry its RAW
             # check on its next turn (it re-stalls if still blocked).
             self._raw_waiting.discard(core_id)
+            state = self._states[core_id]
             state.raw_stall_cycles += now - state.stall_start
-            self.cores[core_id].raw_stalls += now - state.stall_start
             self._wake(core_id)
 
     def _wake(self, core_id: int) -> None:
-        if not self.cores[core_id].halted:
-            self._active.add(core_id)
+        if not self.cores[core_id].halted \
+                and core_id not in self._active_set:
+            self._active_set.add(core_id)
+            insort(self._active_list, core_id)
             if self._chrome is not None:
                 self._chrome.set_state(core_id, EXECUTING,
                                        self.scheduler.current_cycle)
@@ -191,13 +221,7 @@ class Orchestrator:
         """Run to completion and return the results."""
         config = self.config
         scheduler = self.scheduler
-        cores = self.cores
-        states = self._states
-        scoreboard = self.scoreboard
-        active = self._active
         start_wall = time.perf_counter()
-        remaining_cores = config.num_cores
-        total_instructions = 0
 
         # Telemetry hooks, hoisted into locals: when telemetry is
         # disabled each stays None and the loop pays only a handful of
@@ -214,113 +238,12 @@ class Orchestrator:
                 sampler.start(scheduler.current_cycle)
         clock = time.perf_counter
 
-        while remaining_cores:
-            if scheduler.current_cycle >= config.max_cycles:
-                raise SimulationError(
-                    f"cycle budget exhausted ({config.max_cycles})")
-
-            if not active:
-                # Every live core is stalled: jump to the next event (an
-                # identical-behaviour fast-forward — only completions can
-                # wake anyone).
-                next_event = scheduler.next_event_cycle()
-                if next_event is None:
-                    stalled = [core.core_id for core in cores
-                               if not core.halted]
-                    raise SimulationError(
-                        f"deadlock at cycle {scheduler.current_cycle}: "
-                        f"cores {stalled} stalled with no pending events")
-                skipped = next_event - scheduler.current_cycle + 1
-                self._activity[0] = self._activity.get(0, 0) + skipped
-                if profiler is not None:
-                    section_start = clock()
-                scheduler.advance_to(next_event)
-                scheduler.advance_cycle()
-                if profiler is not None:
-                    profiler.sparta_seconds += clock() - section_start
-                if sampler is not None:
-                    sampler.maybe_sample(scheduler.current_cycle)
-                if heartbeat is not None:
-                    heartbeat.maybe_heartbeat(scheduler.current_cycle,
-                                              total_instructions,
-                                              scheduler.events_fired)
-                continue
-
-            active_now = len(active)
-            self._activity[active_now] = \
-                self._activity.get(active_now, 0) + 1
-
-            if profiler is not None:
-                section_start = clock()
-            for core_id in sorted(active):
-                core = cores[core_id]
-                state = states[core_id]
-
-                # RAW check against pending misses (paper: the core is
-                # inactive until the dependency is satisfied).
-                try:
-                    registers = core.peek_registers()
-                except Trap as exc:
-                    raise SimulationError(
-                        f"core {core_id}: {exc}") from exc
-                if scoreboard.blocks(core_id, registers):
-                    active.discard(core_id)
-                    self._raw_waiting.add(core_id)
-                    state.stall_start = scheduler.current_cycle
-                    if chrome is not None:
-                        chrome.set_state(core_id, RAW_STALL,
-                                         scheduler.current_cycle)
-                    continue
-
-                try:
-                    outcome = core.step()
-                except EnvironmentCall:
-                    # Bare-metal convention: ecall halts the calling hart
-                    # with exit code a0.
-                    self.machine.exit_codes[core_id] = core.hart.regs[10]
-                    core.halted = True
-                    outcome = None
-                except Trap as exc:
-                    raise SimulationError(
-                        f"core {core_id}: {exc}") from exc
-
-                if outcome is not None:
-                    if outcome.status is StepStatus.EXECUTED:
-                        total_instructions += 1
-                        self._submit_misses(core_id, outcome.misses)
-                    elif outcome.status is StepStatus.FETCH_MISS:
-                        fetch_id = self._submit_misses(core_id,
-                                                       outcome.misses)
-                        state.waiting_fetch_id = fetch_id
-                        state.stall_start = scheduler.current_cycle
-                        self._fetch_waits[fetch_id] = core_id
-                        active.discard(core_id)
-                        if chrome is not None:
-                            chrome.set_state(core_id, FETCH_STALL,
-                                             scheduler.current_cycle)
-
-                if core.halted:
-                    state.halt_cycle = scheduler.current_cycle
-                    active.discard(core_id)
-                    remaining_cores -= 1
-                    if chrome is not None:
-                        chrome.halt(core_id, scheduler.current_cycle)
-            if profiler is not None:
-                now_wall = clock()
-                profiler.spike_seconds += now_wall - section_start
-                section_start = now_wall
-
-            # Advance Sparta in sync with functional execution;
-            # completions fired here re-activate stalled cores.
-            scheduler.advance_cycle()
-            if profiler is not None:
-                profiler.sparta_seconds += clock() - section_start
-            if sampler is not None:
-                sampler.maybe_sample(scheduler.current_cycle)
-            if heartbeat is not None:
-                heartbeat.maybe_heartbeat(scheduler.current_cycle,
-                                          total_instructions,
-                                          scheduler.events_fired)
+        if self.use_reference_loop:
+            total_instructions = self._cycle_loop_reference(
+                sampler, chrome, profiler, heartbeat)
+        else:
+            total_instructions = self._cycle_loop(
+                sampler, chrome, profiler, heartbeat)
 
         # Drain requests still in flight when the last core halted, so
         # the final statistics balance (submitted == completed).
@@ -346,6 +269,432 @@ class Orchestrator:
             profiler.stats_seconds += clock() - section_start
             results.host_profile = profiler.to_dict()
         return results
+
+    def _cycle_loop(self, sampler, chrome, profiler, heartbeat) -> int:
+        """The optimised cycle loop; returns instructions executed.
+
+        Identical observable behaviour to :meth:`_cycle_loop_reference`
+        (the differential tests assert it); the differences are pure
+        host-side engineering: an incrementally-sorted active list,
+        attribute lookups hoisted into locals, and the single-core
+        run-ahead batch.
+        """
+        config = self.config
+        scheduler = self.scheduler
+        cores = self.cores
+        states = self._states
+        machine = self.machine
+        active_list = self._active_list
+        active_set = self._active_set
+        raw_waiting = self._raw_waiting
+        fetch_waits = self._fetch_waits
+        activity = self._activity
+        blocks = self.scoreboard.blocks
+        # Live per-core busy-register maps, hoisted once: when a core's
+        # map is empty no RAW dependency can block it, so the loop skips
+        # the pre-step decode entirely (the common case on hit streaks).
+        busy_maps = [self.scoreboard.busy_map(core_id)
+                     for core_id in range(config.num_cores)]
+        advance_cycle = scheduler.advance_cycle
+        next_event_cycle = scheduler.next_event_cycle
+        max_cycles = config.max_cycles
+        clock = time.perf_counter
+        remaining_cores = config.num_cores
+        total_instructions = 0
+        # The run-ahead batch advances several cycles between telemetry
+        # checkpoints; the interval sampler needs its per-cycle boundary
+        # checks, so its presence disables the batch.
+        run_ahead = sampler is None
+        executed = StepStatus.EXECUTED
+        fetch_miss = StepStatus.FETCH_MISS
+        clean_step = CLEAN_STEP
+        # With the sampler inactive nothing observes the activity
+        # histogram mid-run, so the per-cycle tally accumulates in a
+        # flat list (merged into the dict once, after the loop); with
+        # the sampler live the shared dict is updated in place.
+        activity_counts = ([0] * (config.num_cores + 1)
+                           if run_ahead else None)
+
+        while remaining_cores:
+            now = scheduler.current_cycle
+            if now >= max_cycles:
+                raise SimulationError(
+                    f"cycle budget exhausted ({max_cycles})")
+
+            if not active_list:
+                # Every live core is stalled: jump to the next event (an
+                # identical-behaviour fast-forward — only completions can
+                # wake anyone).
+                next_event = next_event_cycle()
+                if next_event is None:
+                    stalled = [core.core_id for core in cores
+                               if not core.halted]
+                    raise SimulationError(
+                        f"deadlock at cycle {now}: "
+                        f"cores {stalled} stalled with no pending events")
+                if activity_counts is not None:
+                    activity_counts[0] += next_event - now + 1
+                else:
+                    activity[0] = activity.get(0, 0) + next_event - now + 1
+                if profiler is not None:
+                    section_start = clock()
+                scheduler.advance_to(next_event)
+                advance_cycle()
+                if profiler is not None:
+                    profiler.sparta_seconds += clock() - section_start
+                if sampler is not None:
+                    sampler.maybe_sample(scheduler.current_cycle)
+                if heartbeat is not None:
+                    heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                              total_instructions,
+                                              scheduler.events_fired)
+                continue
+
+            if run_ahead and len(active_list) == 1:
+                next_event = next_event_cycle()
+                bound = max_cycles if next_event is None \
+                    else min(next_event, max_cycles)
+                if bound > now:
+                    # Run-ahead batch: one live core, no event due before
+                    # ``bound``.  Each iteration is one simulated cycle,
+                    # byte-for-byte the per-cycle body specialised to a
+                    # single core (equivalence argument in
+                    # docs/INTERNALS.md).
+                    core_id = active_list[0]
+                    core = cores[core_id]
+                    state = states[core_id]
+                    peek = core.peek_registers
+                    step = core.step
+                    busy = busy_maps[core_id]
+                    if profiler is not None:
+                        section_start = clock()
+                    batch_cycles = 0
+                    while now < bound:
+                        if busy:
+                            try:
+                                registers = peek()
+                            except Trap as exc:
+                                raise SimulationError(
+                                    f"core {core_id}: {exc}") from exc
+                            blocked = blocks(core_id, registers)
+                        else:
+                            blocked = False
+                        if blocked:
+                            batch_cycles += 1
+                            del active_list[0]
+                            active_set.remove(core_id)
+                            raw_waiting.add(core_id)
+                            state.stall_start = now
+                            if chrome is not None:
+                                chrome.set_state(core_id, RAW_STALL, now)
+                            # No event can be due at ``now`` (now <
+                            # bound), so advancing the cycle is a bare
+                            # clock increment.
+                            now += 1
+                            scheduler.current_cycle = now
+                            break
+                        try:
+                            outcome = step()
+                        except EnvironmentCall:
+                            machine.exit_codes[core_id] = \
+                                core.hart.regs[10]
+                            core.halted = True
+                            outcome = None
+                        except Trap as exc:
+                            raise SimulationError(
+                                f"core {core_id}: {exc}") from exc
+                        if outcome is clean_step:
+                            # Executed, no misses, still running — the
+                            # dominant case the batch exists for.
+                            total_instructions += 1
+                            batch_cycles += 1
+                            now += 1
+                            scheduler.current_cycle = now
+                            continue
+                        batch_cycles += 1
+                        leave = False
+                        if outcome is not None:
+                            status = outcome.status
+                            if status is executed:
+                                total_instructions += 1
+                                if outcome.misses:
+                                    self._submit_misses(core_id,
+                                                        outcome.misses)
+                                    leave = True
+                            elif status is fetch_miss:
+                                fetch_id = self._submit_misses(
+                                    core_id, outcome.misses)
+                                state.waiting_fetch_id = fetch_id
+                                state.stall_start = now
+                                fetch_waits[fetch_id] = core_id
+                                del active_list[0]
+                                active_set.remove(core_id)
+                                if chrome is not None:
+                                    chrome.set_state(core_id, FETCH_STALL,
+                                                     now)
+                                leave = True
+                        if core.halted:
+                            state.halt_cycle = now
+                            if active_list and active_list[0] == core_id:
+                                del active_list[0]
+                                active_set.remove(core_id)
+                            remaining_cores -= 1
+                            if chrome is not None:
+                                chrome.halt(core_id, now)
+                            leave = True
+                        if leave:
+                            # Submissions may have scheduled events at
+                            # the current cycle (zero NoC latency), so
+                            # end the cycle through the scheduler.
+                            advance_cycle()
+                            break
+                        now += 1
+                        scheduler.current_cycle = now
+                    activity_counts[1] += batch_cycles
+                    if profiler is not None:
+                        profiler.spike_seconds += clock() - section_start
+                    if heartbeat is not None:
+                        heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                                  total_instructions,
+                                                  scheduler.events_fired)
+                    continue
+
+            active_now = len(active_list)
+            if activity_counts is not None:
+                activity_counts[active_now] += 1
+            else:
+                activity[active_now] = activity.get(active_now, 0) + 1
+
+            if profiler is not None:
+                section_start = clock()
+            index = 0
+            count = active_now
+            while index < count:
+                core_id = active_list[index]
+                core = cores[core_id]
+
+                # RAW check against pending misses (paper: the core is
+                # inactive until the dependency is satisfied).  Skipped
+                # outright while the core has no busy registers.
+                if busy_maps[core_id]:
+                    try:
+                        registers = core.peek_registers()
+                    except Trap as exc:
+                        raise SimulationError(
+                            f"core {core_id}: {exc}") from exc
+                    if blocks(core_id, registers):
+                        del active_list[index]
+                        count -= 1
+                        active_set.remove(core_id)
+                        raw_waiting.add(core_id)
+                        states[core_id].stall_start = now
+                        if chrome is not None:
+                            chrome.set_state(core_id, RAW_STALL, now)
+                        continue
+
+                try:
+                    outcome = core.step()
+                except EnvironmentCall:
+                    # Bare-metal convention: ecall halts the calling hart
+                    # with exit code a0.
+                    machine.exit_codes[core_id] = core.hart.regs[10]
+                    core.halted = True
+                    outcome = None
+                except Trap as exc:
+                    raise SimulationError(
+                        f"core {core_id}: {exc}") from exc
+
+                if outcome is clean_step:
+                    # Executed, no misses, still running: nothing else
+                    # to record for this core this cycle.
+                    total_instructions += 1
+                    index += 1
+                    continue
+
+                removed = False
+                if outcome is not None:
+                    status = outcome.status
+                    if status is executed:
+                        total_instructions += 1
+                        if outcome.misses:
+                            self._submit_misses(core_id, outcome.misses)
+                    elif status is fetch_miss:
+                        fetch_id = self._submit_misses(core_id,
+                                                       outcome.misses)
+                        state = states[core_id]
+                        state.waiting_fetch_id = fetch_id
+                        state.stall_start = now
+                        fetch_waits[fetch_id] = core_id
+                        del active_list[index]
+                        count -= 1
+                        active_set.remove(core_id)
+                        removed = True
+                        if chrome is not None:
+                            chrome.set_state(core_id, FETCH_STALL, now)
+
+                if core.halted:
+                    states[core_id].halt_cycle = now
+                    if not removed:
+                        del active_list[index]
+                        count -= 1
+                        active_set.remove(core_id)
+                        removed = True
+                    remaining_cores -= 1
+                    if chrome is not None:
+                        chrome.halt(core_id, now)
+                if not removed:
+                    index += 1
+            if profiler is not None:
+                now_wall = clock()
+                profiler.spike_seconds += now_wall - section_start
+                section_start = now_wall
+
+            # Advance Sparta in sync with functional execution;
+            # completions fired here re-activate stalled cores.
+            advance_cycle()
+            if profiler is not None:
+                profiler.sparta_seconds += clock() - section_start
+            if sampler is not None:
+                sampler.maybe_sample(scheduler.current_cycle)
+            if heartbeat is not None:
+                heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                          total_instructions,
+                                          scheduler.events_fired)
+
+        if activity_counts is not None:
+            for cores_active, cycles in enumerate(activity_counts):
+                if cycles:
+                    activity[cores_active] = \
+                        activity.get(cores_active, 0) + cycles
+        return total_instructions
+
+    def _cycle_loop_reference(self, sampler, chrome, profiler,
+                              heartbeat) -> int:
+        """The original per-cycle loop, kept verbatim as the behavioural
+        reference for the differential tests.
+
+        It operates on ``_active_set`` with a fresh ``sorted()`` every
+        cycle; ``_active_list`` is kept in sync so :meth:`_wake` keeps
+        working (the optimised loop and the reference loop never run in
+        the same simulation).
+        """
+        config = self.config
+        scheduler = self.scheduler
+        cores = self.cores
+        states = self._states
+        scoreboard = self.scoreboard
+        active = self._active_set
+        remaining_cores = config.num_cores
+        total_instructions = 0
+        clock = time.perf_counter
+
+        def deactivate(core_id: int) -> None:
+            active.discard(core_id)
+            try:
+                self._active_list.remove(core_id)
+            except ValueError:
+                pass
+
+        while remaining_cores:
+            if scheduler.current_cycle >= config.max_cycles:
+                raise SimulationError(
+                    f"cycle budget exhausted ({config.max_cycles})")
+
+            if not active:
+                next_event = scheduler.next_event_cycle()
+                if next_event is None:
+                    stalled = [core.core_id for core in cores
+                               if not core.halted]
+                    raise SimulationError(
+                        f"deadlock at cycle {scheduler.current_cycle}: "
+                        f"cores {stalled} stalled with no pending events")
+                skipped = next_event - scheduler.current_cycle + 1
+                self._activity[0] = self._activity.get(0, 0) + skipped
+                if profiler is not None:
+                    section_start = clock()
+                while scheduler.current_cycle < next_event:
+                    scheduler.advance_cycle()
+                scheduler.advance_cycle()
+                if profiler is not None:
+                    profiler.sparta_seconds += clock() - section_start
+                if sampler is not None:
+                    sampler.maybe_sample(scheduler.current_cycle)
+                if heartbeat is not None:
+                    heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                              total_instructions,
+                                              scheduler.events_fired)
+                continue
+
+            active_now = len(active)
+            self._activity[active_now] = \
+                self._activity.get(active_now, 0) + 1
+
+            if profiler is not None:
+                section_start = clock()
+            for core_id in sorted(active):
+                core = cores[core_id]
+                state = states[core_id]
+
+                try:
+                    registers = core.peek_registers()
+                except Trap as exc:
+                    raise SimulationError(
+                        f"core {core_id}: {exc}") from exc
+                if scoreboard.blocks(core_id, registers):
+                    deactivate(core_id)
+                    self._raw_waiting.add(core_id)
+                    state.stall_start = scheduler.current_cycle
+                    if chrome is not None:
+                        chrome.set_state(core_id, RAW_STALL,
+                                         scheduler.current_cycle)
+                    continue
+
+                try:
+                    outcome = core.step()
+                except EnvironmentCall:
+                    self.machine.exit_codes[core_id] = core.hart.regs[10]
+                    core.halted = True
+                    outcome = None
+                except Trap as exc:
+                    raise SimulationError(
+                        f"core {core_id}: {exc}") from exc
+
+                if outcome is not None:
+                    if outcome.status is StepStatus.EXECUTED:
+                        total_instructions += 1
+                        self._submit_misses(core_id, outcome.misses)
+                    elif outcome.status is StepStatus.FETCH_MISS:
+                        fetch_id = self._submit_misses(core_id,
+                                                       outcome.misses)
+                        state.waiting_fetch_id = fetch_id
+                        state.stall_start = scheduler.current_cycle
+                        self._fetch_waits[fetch_id] = core_id
+                        deactivate(core_id)
+                        if chrome is not None:
+                            chrome.set_state(core_id, FETCH_STALL,
+                                             scheduler.current_cycle)
+
+                if core.halted:
+                    state.halt_cycle = scheduler.current_cycle
+                    deactivate(core_id)
+                    remaining_cores -= 1
+                    if chrome is not None:
+                        chrome.halt(core_id, scheduler.current_cycle)
+            if profiler is not None:
+                now_wall = clock()
+                profiler.spike_seconds += now_wall - section_start
+                section_start = now_wall
+
+            scheduler.advance_cycle()
+            if profiler is not None:
+                profiler.sparta_seconds += clock() - section_start
+            if sampler is not None:
+                sampler.maybe_sample(scheduler.current_cycle)
+            if heartbeat is not None:
+                heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                          total_instructions,
+                                          scheduler.events_fired)
+        return total_instructions
 
     # -- telemetry --------------------------------------------------------------
 

@@ -76,6 +76,12 @@ class CacheBank(Unit):
             "writebacks_out", "dirty victims written toward memory")
         self._stat_coalesced = stats.counter(
             "coalesced", "misses merged into an existing MSHR")
+        self._stat_late_hits = stats.counter(
+            "late_hits",
+            "misses that found the line installed by an intervening fill")
+        self._stat_wb_coalesced = stats.counter(
+            "writebacks_coalesced",
+            "writebacks merged into an in-flight MSHR for the same line")
         self._stat_stalled = stats.counter(
             "mshr_stalls", "requests queued because the MSHR file was full")
         self._stat_occupancy = stats.gauge("mshr_occupancy",
@@ -137,13 +143,20 @@ class CacheBank(Unit):
         if waiters is None:
             raise RuntimeError(
                 f"{self.path}: fill for {line:#x} without an MSHR")
-        dirty = any(waiter.kind is RequestKind.STORE for waiter in waiters)
+        # A coalesced WRITEBACK waiter means the level above evicted its
+        # dirty copy while the fill was in flight: the line must be
+        # installed dirty, and the writeback itself gets no response.
+        dirty = any(waiter.kind is RequestKind.STORE
+                    or waiter.kind is RequestKind.WRITEBACK
+                    for waiter in waiters)
         victim = self.tags.install(line, dirty=dirty)
         if victim is not None:
             victim_line, victim_dirty = victim
             if victim_dirty:
                 self._write_toward_memory(victim_line)
         for waiter in waiters:
+            if waiter.kind is RequestKind.WRITEBACK:
+                continue
             self._respond(waiter)
         self._stat_occupancy.add(-1)
         self._drain_pending()
@@ -154,6 +167,16 @@ class CacheBank(Unit):
         self._stat_writebacks_in.increment()
         if self.tags.lookup(request.line_address, is_write=True):
             return  # absorbed: line resident, now dirty
+        waiters = self._mshrs.get(request.line_address)
+        if waiters is not None:
+            # The line's fill is already in flight.  Forwarding the
+            # writeback toward memory here would let the fill install
+            # the line *clean*, silently dropping the dirtiness the
+            # level above just handed us; coalesce into the MSHR so the
+            # install is dirty instead.
+            waiters.append(request)
+            self._stat_wb_coalesced.increment()
+            return
         # Not resident: forward toward memory without allocating.
         self._write_toward_memory(request.line_address)
 
@@ -173,12 +196,35 @@ class CacheBank(Unit):
             waiters.append(request)
             self._stat_coalesced.increment()
             return
+        if self._late_hit(request):
+            return
         if len(self._mshrs) >= self.max_in_flight:
             self._stat_stalled.increment()
             self._pending.append(request)
             self._stat_queue.set(len(self._pending))
             return
         self._allocate_mshr(request)
+
+    def _late_hit(self, request: MemRequest) -> bool:
+        """Re-check the tags before allocating an MSHR.
+
+        ``miss_latency`` cycles pass between :meth:`handle_request`
+        classifying a request as a miss and the MSHR allocation; a fill
+        for the same line (raised by an earlier miss whose MSHR has
+        since retired) can install the line in that window.  Without
+        this re-check the bank would fetch a line it already holds —
+        double-counting memory traffic and, worse, the redundant fill's
+        install could evict the very line an in-flight response is
+        about to be served from.
+        """
+        if not self.tags.lookup(request.line_address,
+                                request.kind is RequestKind.STORE):
+            return False
+        self._stat_late_hits.increment()
+        if self._records_bank_id:
+            request.l2_hit = True
+        self._respond(request)
+        return True
 
     def _allocate_mshr(self, request: MemRequest) -> None:
         self._mshrs[request.line_address] = [request]
@@ -204,6 +250,8 @@ class CacheBank(Unit):
             if waiters is not None:
                 waiters.append(request)
                 self._stat_coalesced.increment()
+                continue
+            if self._late_hit(request):
                 continue
             self._allocate_mshr(request)
         if drained:

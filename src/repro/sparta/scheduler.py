@@ -4,6 +4,13 @@ Events are callbacks scheduled at integer cycle numbers.  Within one cycle,
 events fire in (priority, insertion-order), making simulations fully
 deterministic.  The Coyote orchestrator advances the scheduler in lockstep
 with functional execution: one ``advance_cycle`` per simulated clock.
+
+Hot-path notes: ``current_cycle`` is a plain attribute (no property
+dispatch on the read the orchestrator, the NoC and every bank perform
+each cycle), idle cycles cost a single heap peek, and ``advance_to``
+lands directly on each intervening event cycle instead of stepping the
+clock one cycle at a time — a fully-stalled fast-forward is O(events in
+the gap), not O(gap).
 """
 
 from __future__ import annotations
@@ -22,13 +29,11 @@ class Scheduler:
     def __init__(self):
         self._queue: list[tuple[int, int, int, Callable, tuple]] = []
         self._sequence = 0
-        self._current_cycle = 0
+        # Public on purpose: the orchestrator's inner loop reads (and,
+        # in its single-core run-ahead, writes) the clock every
+        # simulated cycle; attribute access keeps that cheap.
+        self.current_cycle = 0
         self._events_fired = 0
-        self._running = False
-
-    @property
-    def current_cycle(self) -> int:
-        return self._current_cycle
 
     @property
     def events_fired(self) -> int:
@@ -40,74 +45,98 @@ class Scheduler:
 
     def schedule(self, callback: Callable, delay: int = 0,
                  args: tuple = (), priority: int = 0) -> None:
-        """Schedule ``callback(*args)`` ``delay`` cycles from now."""
+        """Schedule ``callback(*args)`` ``delay`` cycles from now.
+
+        A zero delay from outside the event loop is fine: the event
+        fires on the next advance through the current cycle.
+        """
         if delay < 0:
             raise SchedulerError(f"cannot schedule in the past: delay={delay}")
-        if delay == 0 and self._running is False:
-            # Scheduling at the current cycle from outside the event loop is
-            # fine: the event fires on the next advance through this cycle.
-            pass
         heapq.heappush(self._queue,
-                       (self._current_cycle + delay, priority,
+                       (self.current_cycle + delay, priority,
                         self._sequence, callback, args))
         self._sequence += 1
 
     def next_event_cycle(self) -> int | None:
         """Cycle of the earliest pending event, or None when idle."""
-        if not self._queue:
-            return None
-        return self._queue[0][0]
+        queue = self._queue
+        return queue[0][0] if queue else None
 
     def has_events_now(self) -> bool:
         """True when events are pending at (or before) the current cycle."""
-        return bool(self._queue) and self._queue[0][0] <= self._current_cycle
+        queue = self._queue
+        return bool(queue) and queue[0][0] <= self.current_cycle
 
     def advance_cycle(self) -> int:
         """Fire every event scheduled for the current cycle, then step the
         clock by one.  Returns the number of events fired."""
-        fired = self._drain_current()
-        self._current_cycle += 1
+        queue = self._queue
+        if queue and queue[0][0] <= self.current_cycle:
+            fired = self._drain_current()
+        else:
+            fired = 0
+        self.current_cycle += 1
         return fired
 
     def advance_to(self, cycle: int) -> int:
-        """Advance the clock to ``cycle``, firing all intervening events."""
-        if cycle < self._current_cycle:
+        """Advance the clock to ``cycle``, firing all intervening events.
+
+        Events strictly before ``cycle`` fire (at their own cycle, in
+        deterministic order), exactly as repeated ``advance_cycle`` calls
+        would fire them; the clock then lands on ``cycle`` in one
+        assignment.  Cost is proportional to the events in the gap, not
+        to its length.
+        """
+        if cycle < self.current_cycle:
             raise SchedulerError(
-                f"cannot rewind from {self._current_cycle} to {cycle}")
+                f"cannot rewind from {self.current_cycle} to {cycle}")
+        queue = self._queue
         fired = 0
-        while self._current_cycle < cycle:
-            fired += self.advance_cycle()
+        while queue and queue[0][0] < cycle:
+            target = queue[0][0]
+            if target > self.current_cycle:
+                self.current_cycle = target
+            fired += self._drain_current()
+        self.current_cycle = cycle
         return fired
 
     def run_until_idle(self, max_cycles: int = 10_000_000) -> int:
-        """Advance until no events remain; returns the final cycle."""
-        budget = max_cycles
-        while self._queue:
-            target = self._queue[0][0]
-            if target > self._current_cycle:
-                self._current_cycle = target
-            self._drain_current()
-            self._current_cycle += 1
-            budget -= 1
-            if budget <= 0:
+        """Advance until no events remain; returns the final cycle.
+
+        ``max_cycles`` bounds how many *cycles* the clock may advance
+        past its starting point (a runaway-feedback backstop).  A single
+        long jump to a far-future event consumes budget equal to the
+        jump length — it cannot advance the clock further than an
+        equivalent sequence of per-cycle steps would.
+        """
+        queue = self._queue
+        start = self.current_cycle
+        limit = start + max_cycles
+        while queue:
+            target = queue[0][0]
+            if target >= limit:
                 raise SchedulerError(
-                    f"run_until_idle exceeded {max_cycles} cycles")
-        return self._current_cycle
+                    f"run_until_idle exceeded its cycle budget "
+                    f"({max_cycles} cycles from cycle {start})")
+            if target > self.current_cycle:
+                self.current_cycle = target
+            self._drain_current()
+            self.current_cycle += 1
+        return self.current_cycle
 
     def _drain_current(self) -> int:
+        """Fire every event at (or before) the current cycle."""
         fired = 0
-        self._running = True
-        try:
-            while self._queue and self._queue[0][0] <= self._current_cycle:
-                cycle, _priority, _seq, callback, args = \
-                    heapq.heappop(self._queue)
-                if cycle < self._current_cycle:
-                    raise SchedulerError(
-                        f"missed event scheduled for cycle {cycle} "
-                        f"(now {self._current_cycle})")
-                callback(*args)
-                fired += 1
-                self._events_fired += 1
-        finally:
-            self._running = False
+        queue = self._queue
+        now = self.current_cycle
+        heappop = heapq.heappop
+        while queue and queue[0][0] <= now:
+            cycle, _priority, _seq, callback, args = heappop(queue)
+            if cycle < now:
+                raise SchedulerError(
+                    f"missed event scheduled for cycle {cycle} "
+                    f"(now {now})")
+            callback(*args)
+            fired += 1
+        self._events_fired += fired
         return fired

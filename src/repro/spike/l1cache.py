@@ -91,34 +91,49 @@ class L1Cache:
 
     def access(self, address: int, is_write: bool) -> L1Access:
         """Look up ``address``; allocates on miss and returns the outcome."""
-        set_index, tag = self._locate(address)
-        ways = self._sets[set_index]
-        line_addr = tag << self._offset_bits
+        miss = self.access_fast(address, is_write)
+        if miss is None:
+            return L1Access(hit=True,
+                            line_address=self.line_address(address))
+        return L1Access(hit=False, line_address=miss[0],
+                        writeback_address=miss[1])
+
+    def access_fast(self, address: int,
+                    is_write: bool) -> tuple[int, int | None] | None:
+        """Allocation-free hot-path lookup for the per-instruction loop.
+
+        Same side effects as :meth:`access` (statistics, LRU touch,
+        allocate-on-miss, victim eviction) but returns ``None`` on a hit
+        — the overwhelmingly common case pays no object construction —
+        and ``(line_address, writeback_address_or_None)`` on a miss.
+        """
+        offset_bits = self._offset_bits
+        tag = address >> offset_bits
+        ways = self._sets[tag & self._index_mask]
+        stats = self.stats
         if is_write:
-            self.stats.writes += 1
+            stats.writes += 1
         else:
-            self.stats.reads += 1
+            stats.reads += 1
 
         if tag in ways:
-            dirty = ways.pop(tag) or is_write
-            ways[tag] = dirty  # re-insert as MRU
-            return L1Access(hit=True, line_address=line_addr)
+            ways[tag] = ways.pop(tag) or is_write  # re-insert as MRU
+            return None
 
         if is_write:
-            self.stats.write_misses += 1
+            stats.write_misses += 1
         else:
-            self.stats.read_misses += 1
+            stats.read_misses += 1
 
         writeback = None
         if len(ways) >= self.associativity:
             victim_tag, victim_dirty = next(iter(ways.items()))
             del ways[victim_tag]
             if victim_dirty:
-                self.stats.writebacks += 1
-                writeback = victim_tag << self._offset_bits
+                stats.writebacks += 1
+                writeback = victim_tag << offset_bits
         ways[tag] = is_write
-        return L1Access(hit=False, line_address=line_addr,
-                        writeback_address=writeback)
+        return tag << offset_bits, writeback
 
     def probe(self, address: int) -> bool:
         """True when the line holding ``address`` is resident (no side

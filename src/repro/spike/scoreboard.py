@@ -72,6 +72,16 @@ class Scoreboard:
             return False
         return any(reg in busy for reg in registers)
 
+    def busy_map(self, core_id: int) -> dict[RegRef, int]:
+        """The live busy-register map of one core.
+
+        The returned dict is the scoreboard's own (mutated in place as
+        misses register and complete), so a caller may hoist it once and
+        test ``if busy_map`` per cycle: when it is empty no RAW check can
+        block, letting the orchestrator skip the pre-step decode.
+        """
+        return self._busy[core_id]
+
     def busy_registers(self, core_id: int) -> frozenset[RegRef]:
         """The currently unavailable registers of one core."""
         return frozenset(self._busy[core_id])

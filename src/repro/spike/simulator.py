@@ -65,6 +65,16 @@ class CoreStep:
     exit_code: int = 0
 
 
+# Shared outcome instances for the two allocation-free hot cases.  A
+# clean executed step (no misses) is the overwhelmingly common outcome,
+# and nothing downstream reads ``mnemonic`` or mutates ``misses``, so a
+# single immutable-by-convention instance serves every such step.
+# ``CLEAN_STEP`` is public: the orchestrator's hot loop recognises it by
+# identity and skips all post-step bookkeeping for it.
+CLEAN_STEP = CoreStep(StepStatus.EXECUTED, misses=[])
+_HALTED_STEP = CoreStep(StepStatus.HALTED, misses=[])
+
+
 @dataclass
 class L1Config:
     """Geometry of the private L1 caches (identical across cores)."""
@@ -89,7 +99,10 @@ class CoreModel:
         self.l1d = L1Cache(l1.dcache_bytes, l1.associativity, l1.line_bytes,
                            name=f"core{self.core_id}.l1d")
         self.halted = False
-        self.raw_stalls = 0
+        # RAW-stall *cycles* are accounted once, by the orchestrator's
+        # per-core state (the single source of truth surfaced as
+        # ``CoreStats.raw_stall_cycles``); ``fetch_stalls`` here counts
+        # fetch-miss *events* observed by :meth:`step`.
         self.fetch_stalls = 0
         self.instructions = 0
 
@@ -103,22 +116,29 @@ class CoreModel:
         return self.hart.decode_at(self.hart.pc).all_regs
 
     def step(self) -> CoreStep:
-        """Execute one instruction, classifying accesses against the L1s."""
-        if self.halted:
-            return CoreStep(StepStatus.HALTED)
+        """Execute one instruction, classifying accesses against the L1s.
 
-        misses: list[MissRequest] = []
+        Hot-path notes: lookups go through the allocation-free
+        ``L1Cache.access_fast`` (hits return ``None``), the miss list is
+        only materialised when a miss actually occurs, the HTIF check is
+        skipped for instructions that made no memory access, and steps
+        with nothing to report return a shared outcome instance — all
+        behaviour-preserving specialisations of the original loop.
+        """
+        if self.halted:
+            return _HALTED_STEP
+
         hart = self.hart
 
         # Instruction fetch through the L1I.
-        fetch = self.l1i.access(hart.pc, is_write=False)
-        if not fetch.hit:
+        fetch_miss = self.l1i.access_fast(hart.pc, False)
+        if fetch_miss is not None:
             self.fetch_stalls += 1
-            misses.append(MissRequest(self.core_id, fetch.line_address,
-                                      AccessKind.IFETCH))
-            if fetch.writeback_address is not None:
-                misses.append(MissRequest(self.core_id,
-                                          fetch.writeback_address,
+            fetch_line, fetch_writeback = fetch_miss
+            misses = [MissRequest(self.core_id, fetch_line,
+                                  AccessKind.IFETCH)]
+            if fetch_writeback is not None:
+                misses.append(MissRequest(self.core_id, fetch_writeback,
                                           AccessKind.WRITEBACK))
             return CoreStep(StepStatus.FETCH_MISS, misses=misses)
 
@@ -129,44 +149,57 @@ class CoreModel:
         # a repeated (line, kind) pair within one instruction (e.g. a
         # unit-stride vector load) produces a single request.
         accesses = hart.accesses
-        if accesses:
-            l1d = self.l1d
-            line_bytes = l1d.line_bytes
-            seen: set[tuple[int, bool]] | None = \
-                set() if len(accesses) > 1 else None
-            for access in accesses:
-                is_write = access.is_write
-                first_line = l1d.line_address(access.address)
-                last_line = l1d.line_address(access.address
-                                             + access.size - 1)
-                line = first_line
-                while line <= last_line:
-                    if seen is not None:
-                        key = (line, is_write)
-                        if key in seen:
-                            line += line_bytes
-                            continue
-                        seen.add(key)
-                    result = l1d.access(line, is_write)
-                    if not result.hit:
-                        kind = (AccessKind.STORE if is_write
-                                else AccessKind.LOAD)
-                        registers = (instr.dests
-                                     if kind is AccessKind.LOAD else ())
-                        misses.append(MissRequest(self.core_id, line,
-                                                  kind, registers))
-                        if result.writeback_address is not None:
-                            misses.append(MissRequest(
-                                self.core_id, result.writeback_address,
-                                AccessKind.WRITEBACK))
-                    line += line_bytes
+        if not accesses:
+            return CLEAN_STEP
 
-        event = self.machine.check_htif(hart.accesses, hart)
+        misses: list[MissRequest] | None = None
+        l1d = self.l1d
+        access_fast = l1d.access_fast
+        line_bytes = l1d.line_bytes
+        core_id = self.core_id
+        seen: set[tuple[int, bool]] | None = \
+            set() if len(accesses) > 1 else None
+        for access in accesses:
+            is_write = access.is_write
+            address = access.address
+            first_line = l1d.line_address(address)
+            last_line = l1d.line_address(address + access.size - 1)
+            line = first_line
+            while line <= last_line:
+                if seen is not None:
+                    key = (line, is_write)
+                    if key in seen:
+                        line += line_bytes
+                        continue
+                    seen.add(key)
+                result = access_fast(line, is_write)
+                if result is not None:
+                    kind = (AccessKind.STORE if is_write
+                            else AccessKind.LOAD)
+                    registers = (instr.dests
+                                 if kind is AccessKind.LOAD else ())
+                    if misses is None:
+                        misses = []
+                    misses.append(MissRequest(core_id, line,
+                                              kind, registers))
+                    if result[1] is not None:
+                        misses.append(MissRequest(
+                            core_id, result[1],
+                            AccessKind.WRITEBACK))
+                line += line_bytes
+
+        event = self.machine.check_htif(accesses, hart)
         if event.exited:
             self.halted = True
+            return CoreStep(StepStatus.EXECUTED,
+                            mnemonic=instr.mnemonic,
+                            misses=misses if misses is not None else [],
+                            exited=True, exit_code=event.exit_code)
+
+        if misses is None:
+            return CLEAN_STEP
         return CoreStep(StepStatus.EXECUTED, mnemonic=instr.mnemonic,
-                        misses=misses, exited=event.exited,
-                        exit_code=event.exit_code)
+                        misses=misses)
 
 
 class SpikeSimulator:

@@ -59,6 +59,25 @@ cell: .dword 7
 """)
         assert results.raw_stall_cycles > 50
 
+    def test_raw_stall_single_source_of_truth(self):
+        # RAW-stall cycles are accounted once, in the orchestrator's
+        # per-core state; the core model no longer carries a (formerly
+        # duplicated, subtly different) ``raw_stalls`` event counter.
+        results, orch = run_program(f""".text
+_start:
+    la a1, cell
+    ld a2, 0(a1)
+    add a3, a2, a2
+{EXIT_TAIL}
+cell: .dword 7
+""")
+        for core in orch.cores:
+            assert not hasattr(core, "raw_stalls")
+        assert results.raw_stall_cycles == sum(
+            core_stats.raw_stall_cycles for core_stats in results.cores)
+        assert results.raw_stall_cycles == sum(
+            state.raw_stall_cycles for state in orch._states)
+
     def test_independent_work_hides_latency(self):
         """Instructions not touching the loading register keep issuing."""
         dependent, _ = run_program(f""".text

@@ -172,3 +172,108 @@ class TestWritebacks:
         writebacks = [payload for payload in harness.to_mc()
                       if payload.kind is RequestKind.WRITEBACK]
         assert not writebacks
+
+
+class TestLateHit:
+    """A fill may install a line between a request's miss classification
+    and its (miss_latency-delayed) MSHR allocation; the bank must notice
+    and serve the request as a hit instead of re-fetching the line."""
+
+    def test_intervening_fill_becomes_hit(self):
+        harness = BankHarness()
+        first = harness.request(0x1000)
+        harness.run(10)
+        # ``second`` is classified as a miss (line not yet resident)...
+        second = harness.request(0x1000)
+        # ...then the fill for ``first`` lands before second's
+        # _start_miss fires one cycle later.
+        harness.fill(first)
+        harness.run(10)
+        fills = [payload for payload in harness.to_mc()
+                 if payload.kind is RequestKind.LOAD]
+        assert len(fills) == 1  # no redundant second memory fetch
+        assert second in harness.responses()
+        assert second.l2_hit is True
+        assert harness.bank.in_flight() == 0  # no stray MSHR left
+        assert harness.bank.stats._counters["late_hits"].value == 1
+
+    def test_store_late_hit_marks_line_dirty(self):
+        harness = BankHarness(size_bytes=128, associativity=1)
+        first = harness.request(0x0000)
+        harness.run(10)
+        store = harness.request(0x0000, RequestKind.STORE)
+        harness.fill(first)
+        harness.run(10)
+        assert store in harness.responses()
+        # The late store hit dirtied the line: evicting it must write
+        # it back toward memory.
+        conflict = harness.request(0x0080)
+        harness.run(10)
+        harness.fill(conflict)
+        writebacks = [payload for payload in harness.to_mc()
+                      if payload.kind is RequestKind.WRITEBACK]
+        assert [payload.line_address for payload in writebacks] == [0x0000]
+
+    def test_pending_queue_rechecks_tags_on_drain(self):
+        harness = BankHarness(max_in_flight=1)
+        blocker = harness.request(0x2000)
+        harness.run(10)
+        # Two requests for the same (absent) line queue behind the
+        # full MSHR file without coalescing — no MSHR exists for them.
+        queued_a = harness.request(0x1000)
+        queued_b = harness.request(0x1000)
+        harness.run(10)
+        assert harness.bank.queued() == 2
+        harness.fill(blocker)   # drains queued_a into a fresh MSHR
+        harness.run(10)
+        harness.fill(queued_a)  # installs 0x1000, then drains queued_b
+        harness.run(10)
+        fills = [payload for payload in harness.to_mc()
+                 if payload.kind is RequestKind.LOAD]
+        assert len(fills) == 2  # blocker + queued_a, not a third
+        assert queued_b in harness.responses()
+        assert harness.bank.stats._counters["late_hits"].value == 1
+
+
+class TestWritebackMshrCoalesce:
+    """A WRITEBACK arriving while the same line has an in-flight fill
+    must not race it to memory: the dirtiness belongs to the line the
+    fill is about to install."""
+
+    def test_writeback_before_fill_installs_dirty(self):
+        harness = BankHarness(size_bytes=128, associativity=1)
+        load = harness.request(0x0000)
+        harness.run(10)
+        assert harness.bank.in_flight() == 1
+        harness.request(0x0000, RequestKind.WRITEBACK)
+        harness.run(10)
+        # Coalesced into the MSHR: nothing written toward memory yet.
+        writebacks = [payload for payload in harness.to_mc()
+                      if payload.kind is RequestKind.WRITEBACK]
+        assert not writebacks
+        counters = harness.bank.stats._counters
+        assert counters["writebacks_coalesced"].value == 1
+        harness.fill(load)
+        # Only the load gets a response; the writeback never does.
+        assert harness.responses() == [load]
+        # The install was dirty: evicting the line writes it back.
+        conflict = harness.request(0x0080)
+        harness.run(10)
+        harness.fill(conflict)
+        writebacks = [payload for payload in harness.to_mc()
+                      if payload.kind is RequestKind.WRITEBACK]
+        assert [payload.line_address for payload in writebacks] == [0x0000]
+
+    def test_fill_before_writeback_still_dirty(self):
+        harness = BankHarness(size_bytes=128, associativity=1)
+        load = harness.request(0x0000)
+        harness.run(10)
+        harness.fill(load)  # installs clean
+        harness.request(0x0000, RequestKind.WRITEBACK)
+        harness.run(10)     # absorbed by the resident line, now dirty
+        conflict = harness.request(0x0080)
+        harness.run(10)
+        harness.fill(conflict)
+        writebacks = [payload for payload in harness.to_mc()
+                      if payload.kind is RequestKind.WRITEBACK]
+        assert [payload.line_address for payload in writebacks] == [0x0000]

@@ -130,6 +130,31 @@ class TestRunUntilIdle:
         with pytest.raises(SchedulerError):
             scheduler.run_until_idle(max_cycles=100)
 
+    def test_budget_counts_cycles_not_batches(self):
+        # 150 events spaced 10 cycles apart span 1500 cycles.  A budget
+        # of 1000 *cycles* must trip even though only 150 event batches
+        # fire (the old budget counted batches and would sail through).
+        scheduler = Scheduler()
+        for index in range(150):
+            scheduler.schedule(lambda: None, delay=(index + 1) * 10)
+        with pytest.raises(SchedulerError, match="cycle budget"):
+            scheduler.run_until_idle(max_cycles=1000)
+
+    def test_long_single_jump_within_budget(self):
+        scheduler = Scheduler()
+        fired = []
+        scheduler.schedule(fired.append, delay=500_000, args=(1,))
+        scheduler.run_until_idle(max_cycles=1_000_000)
+        assert fired == [1]
+
+    def test_single_jump_past_budget_raises(self):
+        # One far-future event must not be able to advance the clock
+        # further than an equivalent per-cycle walk could.
+        scheduler = Scheduler()
+        scheduler.schedule(lambda: None, delay=2000)
+        with pytest.raises(SchedulerError, match="cycle budget"):
+            scheduler.run_until_idle(max_cycles=1000)
+
 
 @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
                 max_size=50))
