@@ -5,6 +5,11 @@ the paper lists as simulation outputs.  Example::
 
     coyote-sim --kernel scalar-spmv --cores 8 --l2-mode private \\
                --mapping page-to-bank --trace /tmp/spmv
+
+Exit codes follow a fixed taxonomy so campaign scripts can triage
+without parsing stderr: 0 success, 1 generic simulation failure,
+2 configuration error, 3 verification failure, 4 deadlock (watchdog or
+provable wedge), 130 interrupted (with a partial-progress dump).
 """
 
 from __future__ import annotations
@@ -16,12 +21,27 @@ import os
 import sys
 
 from repro.coyote.config import SimulationConfig
+from repro.coyote.errors import SimulationError
 from repro.coyote.simulation import Simulation
 from repro.kernels import KERNELS
 from repro.memhier.mapping import policy_names
+from repro.resilience import (
+    DeadlockError,
+    load_checkpoint,
+    load_fault_plan,
+    save_checkpoint,
+)
 from repro.telemetry import TelemetryConfig
 
 DEFAULT_SAMPLE_INTERVAL = 1000
+
+# The exit-code taxonomy (also documented in docs/RESILIENCE.md).
+EXIT_OK = 0
+EXIT_FAILURE = 1          # simulation raised / did not complete cleanly
+EXIT_CONFIG = 2           # bad flags, config file, or fault plan
+EXIT_VERIFY = 3           # ran to completion but the output is wrong
+EXIT_DEADLOCK = 4         # watchdog trip or provable forward-progress loss
+EXIT_INTERRUPT = 130      # SIGINT (the shell convention: 128 + 2)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -79,6 +99,33 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=("debug", "info", "warning", "error"),
                            help="logging verbosity (--progress implies "
                                 "info)")
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument("--inject", metavar="PLAN.json", default=None,
+                            help="inject faults from a JSON fault plan "
+                                 "(see docs/RESILIENCE.md)")
+    resilience.add_argument("--fault-seed", type=int, default=None,
+                            metavar="N",
+                            help="fault-injection PRNG seed (overrides "
+                                 "the plan's seed)")
+    resilience.add_argument("--watchdog", type=int, default=None,
+                            metavar="CYCLES",
+                            help="enable the forward-progress watchdog "
+                                 "with this window")
+    resilience.add_argument("--check-invariants", type=int, default=None,
+                            metavar="CYCLES",
+                            help="run conservation checks every N cycles")
+    resilience.add_argument("--checkpoint-at", type=int, default=None,
+                            metavar="CYCLE",
+                            help="pause at this cycle, write a "
+                                 "checkpoint (--checkpoint-out) and exit")
+    resilience.add_argument("--checkpoint-out", metavar="PATH",
+                            default=None,
+                            help="where --checkpoint-at writes the "
+                                 "checkpoint")
+    resilience.add_argument("--resume", metavar="PATH", default=None,
+                            help="resume a checkpoint written by "
+                                 "--checkpoint-at (kernel/config flags "
+                                 "are taken from the checkpoint)")
     return parser
 
 
@@ -128,7 +175,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.sample_interval < 0:
         parser.error(f"--sample-interval must be >= 0, "
                      f"got {args.sample_interval}")
-    for path in (args.metrics_out, args.chrome_trace):
+    if (args.checkpoint_at is None) != (args.checkpoint_out is None):
+        parser.error("--checkpoint-at and --checkpoint-out go together")
+    if args.resume is not None and args.config is not None:
+        parser.error("--resume restores the checkpointed configuration; "
+                     "--config cannot apply")
+    for path in (args.metrics_out, args.chrome_trace,
+                 args.checkpoint_out):
         if path is not None:
             directory = os.path.dirname(path) or "."
             if not os.path.isdir(directory):
@@ -138,33 +191,84 @@ def main(argv: list[str] | None = None) -> int:
         logging.basicConfig(
             level=getattr(logging, (args.log_level or "info").upper()),
             format="%(asctime)s %(name)s %(levelname)s %(message)s")
-    if args.config is not None:
-        config = SimulationConfig.load(args.config)
-        if args.trace is not None:
-            config.trace_misses = True
-        cores = config.num_cores
-    else:
-        config = SimulationConfig.for_cores(
-            args.cores, l2_mode=args.l2_mode,
-            mapping_policy=args.mapping, noc_kind=args.noc,
-            noc_latency=args.noc_latency, mem_latency=args.mem_latency,
-            vlen_bits=args.vlen, trace_misses=args.trace is not None)
-        cores = args.cores
-    telemetry = telemetry_from_args(args, config.telemetry)
-    if telemetry.enabled:
-        config.telemetry = telemetry
-    if args.save_config is not None:
-        config.save(args.save_config)
-    workload = make_workload(args.kernel, cores, args.size)
 
-    simulation = Simulation(config, workload.program)
-    results = simulation.run()
+    try:
+        if args.resume is not None:
+            simulation, metadata = load_checkpoint(args.resume)
+            kernel = metadata["kernel"]
+            cores = metadata["cores"]
+            size = metadata["size"]
+        else:
+            kernel, cores, size = args.kernel, args.cores, args.size
+            if args.config is not None:
+                config = SimulationConfig.load(args.config)
+                if args.trace is not None:
+                    config.trace_misses = True
+                cores = config.num_cores
+            else:
+                config = SimulationConfig.for_cores(
+                    args.cores, l2_mode=args.l2_mode,
+                    mapping_policy=args.mapping, noc_kind=args.noc,
+                    noc_latency=args.noc_latency,
+                    mem_latency=args.mem_latency,
+                    vlen_bits=args.vlen,
+                    trace_misses=args.trace is not None)
+            resilience = config.resilience
+            if args.inject is not None:
+                specs, plan_seed = load_fault_plan(args.inject)
+                resilience.faults = specs
+                if plan_seed is not None:
+                    resilience.fault_seed = plan_seed
+            if args.fault_seed is not None:
+                resilience.fault_seed = args.fault_seed
+            if args.watchdog is not None:
+                resilience.watchdog_cycles = args.watchdog
+            if args.check_invariants is not None:
+                resilience.invariant_interval = args.check_invariants
+            config.validate()
+            telemetry = telemetry_from_args(args, config.telemetry)
+            if telemetry.enabled:
+                config.telemetry = telemetry
+            if args.save_config is not None:
+                config.save(args.save_config)
+    except (ValueError, KeyError, OSError, SimulationError) as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+
+    workload = make_workload(kernel, cores, size)
+    if args.resume is None:
+        simulation = Simulation(config, workload.program)
+
+    try:
+        results = simulation.run(pause_at=args.checkpoint_at)
+    except KeyboardInterrupt:
+        _dump_partial(simulation)
+        return EXIT_INTERRUPT
+    except DeadlockError as exc:
+        _report_deadlock(exc)
+        return EXIT_DEADLOCK
+    except SimulationError as exc:
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+
+    if simulation.paused:
+        metadata = {"kernel": kernel, "cores": cores, "size": size}
+        path = save_checkpoint(simulation, args.checkpoint_out, metadata)
+        cycle = simulation.orchestrator.scheduler.current_cycle
+        print(f"checkpoint written   : {path} (cycle {cycle})")
+        return EXIT_OK
 
     print(f"kernel               : {workload.name}")
     print(f"cores                : {cores}")
     print(results.summary())
     verified = workload.verify(simulation.memory)
     print(f"output verified      : {verified}")
+    injector = simulation.orchestrator.fault_injector
+    if injector is not None:
+        applied = ", ".join(
+            f"{sample.name}={sample.value:g}"
+            for sample in injector.stats.samples() if sample.value)
+        print(f"faults injected      : {applied or 'none'}")
     if args.hierarchy_stats:
         print("\n-- modelled hierarchy --")
         print(results.hierarchy_report())
@@ -186,7 +290,44 @@ def main(argv: list[str] | None = None) -> int:
     ok = verified and results.succeeded()
     if not ok:
         _report_failure(workload, results)
-    return 0 if ok else 1
+    return EXIT_OK if ok else EXIT_VERIFY
+
+
+def _dump_partial(simulation) -> None:
+    """Progress dump on SIGINT, so an interrupted campaign still tells
+    where it was."""
+    orchestrator = simulation.orchestrator
+    scheduler = orchestrator.scheduler
+    instructions = sum(core.instructions for core in orchestrator.cores)
+    halted = sum(1 for core in orchestrator.cores if core.halted)
+    print("interrupted", file=sys.stderr)
+    print(f"  cycle            : {scheduler.current_cycle}",
+          file=sys.stderr)
+    print(f"  instructions     : {instructions}", file=sys.stderr)
+    print(f"  events fired     : {scheduler.events_fired}",
+          file=sys.stderr)
+    print(f"  cores halted     : {halted}/{len(orchestrator.cores)}",
+          file=sys.stderr)
+
+
+def _report_deadlock(error: DeadlockError) -> None:
+    """Summarise the watchdog's diagnostic snapshot on stderr."""
+    print(f"DEADLOCK: {error}", file=sys.stderr)
+    snapshot = error.snapshot
+    sched = snapshot["scheduler"]
+    print(f"  pending events   : {sched['pending_events']} "
+          f"(next at {sched['next_event_cycle']})", file=sys.stderr)
+    for core in snapshot["cores"]:
+        if core["state"] in ("active", "halted"):
+            continue
+        print(f"  core {core['core_id']}: {core['state']} at "
+              f"pc={core['pc']:#x} for {core.get('stalled_for', 0)} "
+              f"cycles, busy regs {core['busy_registers']}",
+              file=sys.stderr)
+    for miss in snapshot["orphaned_misses"]:
+        print(f"  orphaned: miss {miss['miss_id']} of core "
+              f"{miss['core_id']} (registers {miss['registers']})",
+              file=sys.stderr)
 
 
 def _report_failure(workload, results) -> None:

@@ -13,6 +13,7 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
 from repro.memhier.hierarchy import MemHierConfig
+from repro.resilience.config import ResilienceConfig
 from repro.spike.simulator import L1Config
 from repro.telemetry.config import TelemetryConfig
 from repro.utils.bitops import is_power_of_two
@@ -28,6 +29,7 @@ class SimulationConfig:
     memhier: MemHierConfig = field(default_factory=MemHierConfig)
     l1: L1Config = field(default_factory=L1Config)
     telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
     vlen_bits: int = 512
     max_cycles: int = 200_000_000
     trace_misses: bool = False
@@ -43,6 +45,7 @@ class SimulationConfig:
         """Raise ``ValueError`` for inconsistent settings."""
         self.memhier.validate()
         self.telemetry.validate()
+        self.resilience.validate()
         if self.vlen_bits % 64 or self.vlen_bits < 64:
             raise ValueError(f"VLEN must be a positive multiple of 64, "
                              f"got {self.vlen_bits}")
@@ -104,12 +107,15 @@ class SimulationConfig:
         memhier = MemHierConfig(**data.pop("memhier", {}))
         l1 = L1Config(**data.pop("l1", {}))
         telemetry = TelemetryConfig(**data.pop("telemetry", {}))
+        resilience = ResilienceConfig.from_dict(
+            data.pop("resilience", {}))
         known = set(cls.__dataclass_fields__) - {"memhier", "l1",
-                                                "telemetry"}
+                                                "telemetry", "resilience"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown config keys: {sorted(unknown)}")
-        return cls(memhier=memhier, l1=l1, telemetry=telemetry, **data)
+        return cls(memhier=memhier, l1=l1, telemetry=telemetry,
+                   resilience=resilience, **data)
 
     def save(self, path: str | Path) -> Path:
         """Write the configuration as JSON."""

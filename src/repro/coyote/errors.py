@@ -1,0 +1,27 @@
+"""Simulation-level error types.
+
+Kept in their own module so subsystems below the orchestrator (the
+resilience layer in particular) can raise and subclass them without
+importing the orchestrator itself.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Raised when a simulation cannot make progress or a core traps.
+
+    ``details`` carries structured context (current cycle, budgets,
+    per-core state) so tools and tests can assert on the failure shape
+    instead of parsing the message.
+    """
+
+    def __init__(self, message: str, **details):
+        super().__init__(message)
+        self.details = details
+
+    def __getattr__(self, name: str):
+        try:
+            return self.__dict__["details"][name]
+        except KeyError:
+            raise AttributeError(name) from None

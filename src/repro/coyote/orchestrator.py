@@ -43,9 +43,13 @@ from dataclasses import dataclass
 
 from repro.assembler.program import Program
 from repro.coyote.config import SimulationConfig
+from repro.coyote.errors import SimulationError
 from repro.coyote.stats import CoreStats, SimulationResults
 from repro.memhier.hierarchy import MemoryHierarchy
 from repro.memhier.request import MemRequest, RequestKind
+from repro.resilience.faults import FaultInjector
+from repro.resilience.invariants import InvariantChecker
+from repro.resilience.watchdog import Watchdog, deadlock_error
 from repro.spike.hart import EnvironmentCall, Trap
 from repro.spike.machine import BareMetalMachine
 from repro.spike.scoreboard import Scoreboard
@@ -60,16 +64,26 @@ from repro.telemetry.chrome_trace import EXECUTING, FETCH_STALL, RAW_STALL
 from repro.telemetry.hub import Telemetry
 
 
-class SimulationError(Exception):
-    """Raised when a simulation cannot make progress or a core traps."""
-
-
 _KIND_MAP = {
     AccessKind.IFETCH: RequestKind.IFETCH,
     AccessKind.LOAD: RequestKind.LOAD,
     AccessKind.STORE: RequestKind.STORE,
     AccessKind.WRITEBACK: RequestKind.WRITEBACK,
 }
+
+
+class _SchedulerCycleSource:
+    """Picklable ``rdcycle`` source: the Sparta scheduler's clock.
+
+    A plain class (not a lambda) so a checkpoint can serialise harts
+    together with the scheduler they read time from.
+    """
+
+    def __init__(self, scheduler: Scheduler):
+        self.scheduler = scheduler
+
+    def __call__(self) -> int:
+        return self.scheduler.current_cycle
 
 
 @dataclass
@@ -95,8 +109,9 @@ class Orchestrator:
                                         vlen_bits=config.vlen_bits)
         self.cores = [CoreModel(hart, self.machine, config.l1)
                       for hart in self.machine.harts]
+        cycle_source = _SchedulerCycleSource(self.scheduler)
         for hart in self.machine.harts:
-            hart.cycle_source = lambda: self.scheduler.current_cycle
+            hart.cycle_source = cycle_source
         self.hierarchy = MemoryHierarchy(config.memhier, self.scheduler)
         self.hierarchy.on_complete = self._on_request_complete
         self.scoreboard = Scoreboard(config.num_cores)
@@ -117,6 +132,13 @@ class Orchestrator:
         # Differential-testing escape hatch: run the original
         # straight-line per-cycle loop instead of the optimised one.
         self.use_reference_loop = False
+        # Pause/resume bookkeeping (checkpoint support): instructions
+        # executed so far, wall time of earlier segments, and whether
+        # the last ``run`` call stopped at a pause point.
+        self._instructions_total = 0
+        self._wall_accum = 0.0
+        self._started = False
+        self.paused = False
         # Opt-in observability: all hooks stay None when disabled so the
         # hot loop never touches them.
         self.telemetry: Telemetry | None = None
@@ -131,6 +153,25 @@ class Orchestrator:
             if observer is not None:
                 self.hierarchy.noc.latency_observer = observer
             self._chrome = self.telemetry.chrome
+
+        # Resilience layer (docs/RESILIENCE.md): everything below is
+        # None when the matching ResilienceConfig knob is off, so a
+        # default-configured run pays nothing for it.
+        resilience = config.resilience
+        self.fault_injector: FaultInjector | None = None
+        if resilience.faults:
+            self.fault_injector = FaultInjector(
+                "faults", self.hierarchy.root, resilience, self.hierarchy)
+            self.fault_injector.install()
+            if self._chrome is not None:
+                self.fault_injector.event_sink = self._chrome.instant
+        self.watchdog: Watchdog | None = None
+        if resilience.watchdog_cycles:
+            self.watchdog = Watchdog(resilience.watchdog_cycles, self)
+        self.invariants: InvariantChecker | None = None
+        if resilience.invariant_interval:
+            self.invariants = InvariantChecker(
+                self, resilience.invariant_interval)
 
     # -- completion plumbing ---------------------------------------------------
 
@@ -217,8 +258,18 @@ class Orchestrator:
 
     # -- the cycle loop -----------------------------------------------------------
 
-    def run(self) -> SimulationResults:
-        """Run to completion and return the results."""
+    def run(self, pause_at: int | None = None) -> SimulationResults | None:
+        """Run to completion and return the results.
+
+        With ``pause_at`` set, the cycle loop stops at the first loop
+        boundary at or after that cycle instead (no event at or after
+        ``pause_at`` has fired yet), sets :attr:`paused`, and returns
+        ``None``; a later ``run()`` call continues exactly where the
+        paused one stopped.  This is the checkpoint hook: a paused
+        orchestrator can be serialised and the resumed run is
+        bit-identical to an uninterrupted one
+        (tests/resilience/test_checkpoint.py).
+        """
         config = self.config
         scheduler = self.scheduler
         start_wall = time.perf_counter()
@@ -234,16 +285,22 @@ class Orchestrator:
             profiler = telemetry.profiler
             if profiler is not None and config.telemetry.progress:
                 heartbeat = profiler
-            if sampler is not None:
+            if sampler is not None and not self._started:
                 sampler.start(scheduler.current_cycle)
+        self._started = True
         clock = time.perf_counter
 
+        self.paused = False
         if self.use_reference_loop:
             total_instructions = self._cycle_loop_reference(
-                sampler, chrome, profiler, heartbeat)
+                sampler, chrome, profiler, heartbeat, pause_at)
         else:
             total_instructions = self._cycle_loop(
-                sampler, chrome, profiler, heartbeat)
+                sampler, chrome, profiler, heartbeat, pause_at)
+        self._instructions_total = total_instructions
+        if self.paused:
+            self._wall_accum += time.perf_counter() - start_wall
+            return None
 
         # Drain requests still in flight when the last core halted, so
         # the final statistics balance (submitted == completed).
@@ -257,7 +314,7 @@ class Orchestrator:
         if drained:
             self._activity[0] = self._activity.get(0, 0) + drained
 
-        wall_seconds = time.perf_counter() - start_wall
+        wall_seconds = self._wall_accum + time.perf_counter() - start_wall
         if profiler is not None:
             section_start = clock()
         if sampler is not None:
@@ -270,7 +327,8 @@ class Orchestrator:
             results.host_profile = profiler.to_dict()
         return results
 
-    def _cycle_loop(self, sampler, chrome, profiler, heartbeat) -> int:
+    def _cycle_loop(self, sampler, chrome, profiler, heartbeat,
+                    pause_at: int | None = None) -> int:
         """The optimised cycle loop; returns instructions executed.
 
         Identical observable behaviour to :meth:`_cycle_loop_reference`
@@ -299,8 +357,12 @@ class Orchestrator:
         next_event_cycle = scheduler.next_event_cycle
         max_cycles = config.max_cycles
         clock = time.perf_counter
-        remaining_cores = config.num_cores
-        total_instructions = 0
+        # Resume-aware: cores halted before a pause stay halted and the
+        # instruction count continues from the previous segment.
+        remaining_cores = sum(1 for core in cores if not core.halted)
+        total_instructions = self._instructions_total
+        watchdog = self.watchdog
+        invariants = self.invariants
         # The run-ahead batch advances several cycles between telemetry
         # checkpoints; the interval sampler needs its per-cycle boundary
         # checks, so its presence disables the batch.
@@ -317,9 +379,14 @@ class Orchestrator:
 
         while remaining_cores:
             now = scheduler.current_cycle
+            if pause_at is not None and now >= pause_at:
+                self.paused = True
+                break
             if now >= max_cycles:
                 raise SimulationError(
-                    f"cycle budget exhausted ({max_cycles})")
+                    f"cycle budget exhausted ({max_cycles})",
+                    current_cycle=now, max_cycles=max_cycles,
+                    pending_events=scheduler.pending_events)
 
             if not active_list:
                 # Every live core is stalled: jump to the next event (an
@@ -329,9 +396,22 @@ class Orchestrator:
                 if next_event is None:
                     stalled = [core.core_id for core in cores
                                if not core.halted]
-                    raise SimulationError(
-                        f"deadlock at cycle {now}: "
+                    raise deadlock_error(
+                        self,
                         f"cores {stalled} stalled with no pending events")
+                if pause_at is not None and next_event >= pause_at:
+                    # Stop inside the gap, before the event fires; the
+                    # resumed run re-enters this branch and counts the
+                    # remaining ``next_event - pause_at + 1`` stalled
+                    # cycles, so the split accounting matches an
+                    # uninterrupted run exactly.
+                    if activity_counts is not None:
+                        activity_counts[0] += pause_at - now
+                    else:
+                        activity[0] = activity.get(0, 0) + pause_at - now
+                    scheduler.advance_to(pause_at)
+                    self.paused = True
+                    break
                 if activity_counts is not None:
                     activity_counts[0] += next_event - now + 1
                 else:
@@ -348,12 +428,20 @@ class Orchestrator:
                     heartbeat.maybe_heartbeat(scheduler.current_cycle,
                                               total_instructions,
                                               scheduler.events_fired)
+                if watchdog is not None:
+                    watchdog.observe(scheduler.current_cycle,
+                                     total_instructions,
+                                     scheduler.events_fired)
+                if invariants is not None:
+                    invariants.maybe_check(scheduler.current_cycle)
                 continue
 
             if run_ahead and len(active_list) == 1:
                 next_event = next_event_cycle()
                 bound = max_cycles if next_event is None \
                     else min(next_event, max_cycles)
+                if pause_at is not None and pause_at < bound:
+                    bound = pause_at
                 if bound > now:
                     # Run-ahead batch: one live core, no event due before
                     # ``bound``.  Each iteration is one simulated cycle,
@@ -457,6 +545,12 @@ class Orchestrator:
                         heartbeat.maybe_heartbeat(scheduler.current_cycle,
                                                   total_instructions,
                                                   scheduler.events_fired)
+                    if watchdog is not None:
+                        watchdog.observe(scheduler.current_cycle,
+                                         total_instructions,
+                                         scheduler.events_fired)
+                    if invariants is not None:
+                        invariants.maybe_check(scheduler.current_cycle)
                     continue
 
             active_now = len(active_list)
@@ -560,6 +654,12 @@ class Orchestrator:
                 heartbeat.maybe_heartbeat(scheduler.current_cycle,
                                           total_instructions,
                                           scheduler.events_fired)
+            if watchdog is not None:
+                watchdog.observe(scheduler.current_cycle,
+                                 total_instructions,
+                                 scheduler.events_fired)
+            if invariants is not None:
+                invariants.maybe_check(scheduler.current_cycle)
 
         if activity_counts is not None:
             for cores_active, cycles in enumerate(activity_counts):
@@ -568,8 +668,8 @@ class Orchestrator:
                         activity.get(cores_active, 0) + cycles
         return total_instructions
 
-    def _cycle_loop_reference(self, sampler, chrome, profiler,
-                              heartbeat) -> int:
+    def _cycle_loop_reference(self, sampler, chrome, profiler, heartbeat,
+                              pause_at: int | None = None) -> int:
         """The original per-cycle loop, kept verbatim as the behavioural
         reference for the differential tests.
 
@@ -584,8 +684,10 @@ class Orchestrator:
         states = self._states
         scoreboard = self.scoreboard
         active = self._active_set
-        remaining_cores = config.num_cores
-        total_instructions = 0
+        remaining_cores = sum(1 for core in cores if not core.halted)
+        total_instructions = self._instructions_total
+        watchdog = self.watchdog
+        invariants = self.invariants
         clock = time.perf_counter
 
         def deactivate(core_id: int) -> None:
@@ -596,18 +698,33 @@ class Orchestrator:
                 pass
 
         while remaining_cores:
+            if pause_at is not None \
+                    and scheduler.current_cycle >= pause_at:
+                self.paused = True
+                break
             if scheduler.current_cycle >= config.max_cycles:
                 raise SimulationError(
-                    f"cycle budget exhausted ({config.max_cycles})")
+                    f"cycle budget exhausted ({config.max_cycles})",
+                    current_cycle=scheduler.current_cycle,
+                    max_cycles=config.max_cycles,
+                    pending_events=scheduler.pending_events)
 
             if not active:
                 next_event = scheduler.next_event_cycle()
                 if next_event is None:
                     stalled = [core.core_id for core in cores
                                if not core.halted]
-                    raise SimulationError(
-                        f"deadlock at cycle {scheduler.current_cycle}: "
+                    raise deadlock_error(
+                        self,
                         f"cores {stalled} stalled with no pending events")
+                if pause_at is not None and next_event >= pause_at:
+                    skipped = pause_at - scheduler.current_cycle
+                    self._activity[0] = \
+                        self._activity.get(0, 0) + skipped
+                    while scheduler.current_cycle < pause_at:
+                        scheduler.advance_cycle()
+                    self.paused = True
+                    break
                 skipped = next_event - scheduler.current_cycle + 1
                 self._activity[0] = self._activity.get(0, 0) + skipped
                 if profiler is not None:
@@ -623,6 +740,12 @@ class Orchestrator:
                     heartbeat.maybe_heartbeat(scheduler.current_cycle,
                                               total_instructions,
                                               scheduler.events_fired)
+                if watchdog is not None:
+                    watchdog.observe(scheduler.current_cycle,
+                                     total_instructions,
+                                     scheduler.events_fired)
+                if invariants is not None:
+                    invariants.maybe_check(scheduler.current_cycle)
                 continue
 
             active_now = len(active)
@@ -694,6 +817,12 @@ class Orchestrator:
                 heartbeat.maybe_heartbeat(scheduler.current_cycle,
                                           total_instructions,
                                           scheduler.events_fired)
+            if watchdog is not None:
+                watchdog.observe(scheduler.current_cycle,
+                                 total_instructions,
+                                 scheduler.events_fired)
+            if invariants is not None:
+                invariants.maybe_check(scheduler.current_cycle)
         return total_instructions
 
     # -- telemetry --------------------------------------------------------------

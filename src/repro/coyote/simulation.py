@@ -35,11 +35,24 @@ class Simulation:
         self.telemetry = self.orchestrator.telemetry
         self._results: SimulationResults | None = None
 
-    def run(self) -> SimulationResults:
-        """Run to completion (idempotent; re-runs return cached results)."""
+    def run(self, pause_at: int | None = None) -> SimulationResults | None:
+        """Run to completion (idempotent; re-runs return cached results).
+
+        With ``pause_at`` set, stop at the first cycle boundary at or
+        after that cycle and return ``None`` instead; the paused
+        simulation can be checkpointed
+        (:func:`repro.resilience.save_checkpoint`) or continued with a
+        later ``run()`` call — the combined run is bit-identical to an
+        uninterrupted one.
+        """
         if self._results is None:
-            self._results = self.orchestrator.run()
+            self._results = self.orchestrator.run(pause_at=pause_at)
         return self._results
+
+    @property
+    def paused(self) -> bool:
+        """True when the last ``run`` stopped at a ``pause_at`` cycle."""
+        return self.orchestrator.paused
 
     @property
     def results(self) -> SimulationResults:

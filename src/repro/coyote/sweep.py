@@ -29,14 +29,28 @@ from repro.coyote.stats import SimulationResults
 
 @dataclass
 class SweepPoint:
-    """One configuration point and its outcome."""
+    """One configuration point and its outcome.
+
+    A failed point (its simulation raised, or verification failed under
+    ``on_error="skip"``) has ``error`` set and — when the failure
+    happened before completion — ``results`` of ``None``.
+    """
 
     settings: dict[str, Any]
-    results: SimulationResults
+    results: SimulationResults | None
     verified: bool
+    error: Exception | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
     def metric(self, name: str) -> float:
         """Fetch a named metric (attribute or zero-arg method)."""
+        if self.results is None:
+            raise ValueError(
+                f"sweep point {self.settings} failed before producing "
+                f"results: {self.error}")
         value = getattr(self.results, name)
         return value() if callable(value) else value
 
@@ -48,25 +62,43 @@ class SweepTable:
     axes: dict[str, list]
     points: list[SweepPoint] = field(default_factory=list)
 
+    def failures(self) -> list[tuple[dict[str, Any], Exception]]:
+        """The ``(settings, error)`` of every failed point."""
+        return [(point.settings, point.error) for point in self.points
+                if point.failed]
+
     def best(self, metric: str = "cycles",
              minimise: bool = True) -> SweepPoint:
-        """The best point under ``metric``."""
+        """The best *successful* point under ``metric``."""
         if not self.points:
             raise ValueError("empty sweep")
+        candidates = [point for point in self.points if not point.failed]
+        if not candidates:
+            raise ValueError(
+                f"all {len(self.points)} sweep points failed; "
+                f"see SweepTable.failures()")
         chooser = min if minimise else max
-        return chooser(self.points, key=lambda point: point.metric(metric))
+        return chooser(candidates, key=lambda point: point.metric(metric))
 
     def format(self, metrics: tuple[str, ...] = ("cycles",)) -> str:
-        """Render an aligned text table."""
+        """Render an aligned text table (failed points are marked)."""
         axis_names = list(self.axes)
         headers = axis_names + list(metrics)
         rows = []
         for point in self.points:
             row = [str(point.settings[name]) for name in axis_names]
+            if point.failed and point.results is None:
+                row.append(f"FAILED({type(point.error).__name__})")
+                row.extend("-" for _ in metrics[1:])
+                rows.append(row)
+                continue
             for metric in metrics:
                 value = point.metric(metric)
-                row.append(f"{value:.4g}" if isinstance(value, float)
-                           else str(value))
+                cell = (f"{value:.4g}" if isinstance(value, float)
+                        else str(value))
+                row.append(cell)
+            if point.failed:
+                row[-1] += "  [FAILED]"
             rows.append(row)
         widths = [max(len(header), *(len(row[i]) for row in rows))
                   for i, header in enumerate(headers)]
@@ -98,21 +130,45 @@ class Sweep:
         self.base_overrides = base_overrides
 
     def run(self, make_workload: Callable, *,
-            require_verified: bool = True) -> SweepTable:
-        """Run every point; ``make_workload`` is called per point."""
+            require_verified: bool = True,
+            on_error: str = "raise") -> SweepTable:
+        """Run every point; ``make_workload`` is called per point.
+
+        ``on_error`` controls failure isolation: ``"raise"`` (the
+        default) aborts the whole sweep at the first failing point;
+        ``"skip"`` records the failure on that point and carries on —
+        one deadlocking configuration no longer destroys an overnight
+        campaign.  Failed points are marked in :meth:`SweepTable.format`
+        and listed by :meth:`SweepTable.failures`.
+        """
+        if on_error not in ("raise", "skip"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}")
         table = SweepTable(axes=self.axes)
         names = list(self.axes)
         for values in itertools.product(*self.axes.values()):
             settings = dict(zip(names, values))
-            config = SimulationConfig.for_cores(
-                self.base_cores, **{**self.base_overrides, **settings})
-            workload = make_workload()
-            simulation = Simulation(config, workload.program)
-            results = simulation.run()
-            verified = workload.verify(simulation.memory)
+            try:
+                config = SimulationConfig.for_cores(
+                    self.base_cores, **{**self.base_overrides, **settings})
+                workload = make_workload()
+                simulation = Simulation(config, workload.program)
+                results = simulation.run()
+                verified = workload.verify(simulation.memory)
+            except Exception as exc:
+                if on_error == "raise":
+                    raise
+                table.points.append(
+                    SweepPoint(settings, None, False, exc))
+                continue
             if require_verified and not (verified
                                          and results.succeeded()):
-                raise RuntimeError(
+                error = RuntimeError(
                     f"sweep point {settings} failed verification")
+                if on_error == "raise":
+                    raise error
+                table.points.append(
+                    SweepPoint(settings, results, verified, error))
+                continue
             table.points.append(SweepPoint(settings, results, verified))
         return table

@@ -294,6 +294,12 @@ class MemoryHierarchy:
 
     # -- reporting ---------------------------------------------------------------
 
+    def all_cache_banks(self) -> list[L2Bank]:
+        """Every modelled cache bank: the L2 level plus the optional L3
+        (the resilience layer iterates these for fault hardening,
+        deadlock snapshots and invariant checks)."""
+        return self.banks + self.l3_banks
+
     def collect_stats(self) -> list[StatSample]:
         """Statistics of every unit in the hierarchy."""
         return self.root.collect_stats()

@@ -60,6 +60,11 @@ class CacheBank(Unit):
         self._records_bank_id = records_bank_id
         self.endpoint = self.path              # NoC endpoint for requests
         self.fill_endpoint = self.path + ".fill"  # NoC endpoint for fills
+        # Normally a fill without an MSHR is a hard modelling bug and
+        # raises.  Under fault injection, duplicate-delivered fills are
+        # *expected* to arrive after their MSHR retired; the injector
+        # flips this so they are counted and dropped instead.
+        self.tolerate_spurious_fills = False
 
         # line_address -> list of requests waiting on that fill.
         self._mshrs: dict[int, list[MemRequest]] = {}
@@ -91,6 +96,9 @@ class CacheBank(Unit):
         self._stat_conflicts = stats.counter(
             "port_conflict_cycles",
             "cycles requests waited for the bank port")
+        self._stat_spurious = stats.counter(
+            "spurious_fills",
+            "fills with no waiting MSHR, dropped (fault injection)")
 
     # -- NoC-facing entry points ---------------------------------------------
 
@@ -141,6 +149,9 @@ class CacheBank(Unit):
         line = request.line_address
         waiters = self._mshrs.pop(line, None)
         if waiters is None:
+            if self.tolerate_spurious_fills:
+                self._stat_spurious.increment()
+                return
             raise RuntimeError(
                 f"{self.path}: fill for {line:#x} without an MSHR")
         # A coalesced WRITEBACK waiter means the level above evicted its

@@ -106,6 +106,12 @@ class MemoryController(Unit):
             raise RuntimeError(f"{self.path}: no send function wired")
         self._send(self.endpoint, request.fill_target, request)
 
+    @property
+    def busy_until(self) -> int:
+        """First cycle the channel is free again (diagnostics: a value
+        far in the future means a deep backlog behind this controller)."""
+        return self._next_free_cycle
+
     def utilisation(self, total_cycles: int) -> float:
         """Fraction of cycles the channel was transferring data."""
         if total_cycles <= 0:

@@ -40,6 +40,12 @@ class CrossbarNoC(Unit):
         # Optional observability hook: called with each routed message's
         # traversal latency (telemetry histograms). None = no overhead.
         self.latency_observer: Callable[[int], None] | None = None
+        # Optional fault-injection hook (resilience layer): maps one
+        # routed message to the deliveries to actually perform, each a
+        # ``(latency, payload)`` pair — one for a delayed message, two
+        # for a duplicate, zero for a drop.  None = no overhead.
+        self.fault_hook: Callable[
+            [str, str, Any, int], list[tuple[int, Any]]] | None = None
 
     def attach(self, endpoint: str, handler: Callable[[Any], None]) -> None:
         """Register a named endpoint."""
@@ -63,9 +69,16 @@ class CrossbarNoC(Unit):
         self._link_counts[link] = self._link_counts.get(link, 0) + 1
         latency = self.route_latency(source, destination)
         observer = self.latency_observer
-        if observer is not None:
-            observer(latency)
-        self.scheduler.schedule(handler, latency, (payload,))
+        hook = self.fault_hook
+        if hook is None:
+            if observer is not None:
+                observer(latency)
+            self.scheduler.schedule(handler, latency, (payload,))
+            return
+        for delay, item in hook(source, destination, payload, latency):
+            if observer is not None:
+                observer(delay)
+            self.scheduler.schedule(handler, delay, (item,))
 
     def link_utilisation(self) -> dict[tuple[str, str], int]:
         """Messages per (source, destination) pair."""

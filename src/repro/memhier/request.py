@@ -47,6 +47,9 @@ class MemRequest:
     # scoreboard entries / cache lines of a single vector instruction.
     member_ids: tuple = ()
     num_lines: int = 1
+    # Resilience layer: True on the second copy of a duplicate-delivered
+    # message, so receivers and diagnostics can tell it apart.
+    duplicate: bool = False
 
     @property
     def latency(self) -> int:

@@ -1,0 +1,49 @@
+"""Resilience subsystem: fault injection, forward-progress watchdog,
+checkpoint/restore, and invariant checking.
+
+Long design-space sweeps only pay off when they finish — and when a
+wrong model fails *loudly and diagnosably* instead of spinning until a
+bare cycle-budget error.  This package provides four cooperating,
+deterministic tools (docs/RESILIENCE.md):
+
+* :mod:`repro.resilience.faults` — a seeded, replayable fault-injection
+  layer that delays, duplicates, blacks out, or (for watchdog stress
+  tests) drops messages inside the modelled hierarchy.  Timing faults
+  must never change functional results; any run that fails workload
+  verification under timing faults has found a real model bug.
+* :mod:`repro.resilience.watchdog` — forward-progress detection that
+  converts a wedged simulation into a structured
+  :class:`~repro.resilience.watchdog.DeadlockError` carrying a full
+  diagnostic snapshot.
+* :mod:`repro.resilience.checkpoint` — serialize complete simulation
+  state to disk and resume bit-identically.
+* :mod:`repro.resilience.invariants` — periodic conservation and
+  consistency checks over the live simulation state.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_simulation,
+    save_checkpoint,
+)
+from repro.resilience.config import FaultSpec, ResilienceConfig
+from repro.resilience.faults import FaultInjector, load_fault_plan
+from repro.resilience.invariants import InvariantChecker, InvariantViolation
+from repro.resilience.watchdog import DeadlockError, Watchdog, build_snapshot
+
+__all__ = [
+    "CheckpointError",
+    "DeadlockError",
+    "FaultInjector",
+    "FaultSpec",
+    "InvariantChecker",
+    "InvariantViolation",
+    "ResilienceConfig",
+    "Watchdog",
+    "build_snapshot",
+    "load_checkpoint",
+    "load_fault_plan",
+    "restore_simulation",
+    "save_checkpoint",
+]

@@ -1,0 +1,101 @@
+"""Checkpoint/restore: serialize a paused simulation and resume it.
+
+A long campaign should survive preemption.  The approach is whole-state
+serialization: a :class:`~repro.coyote.simulation.Simulation` paused at
+a cycle boundary (``run(pause_at=N)``) is one self-contained object
+graph — harts, functional memory, scheduler queue, MSHRs, scoreboard,
+statistics, telemetry builders, miss-trace recorder, fault-injector RNG
+— and the orchestrator keeps that graph free of unpicklable members
+(no lambdas, no open files), so ``pickle`` captures all of it.  A
+resumed run is bit-identical to an uninterrupted one: the differential
+test compares final statistics and Paraver traces byte for byte.
+
+The module deliberately imports nothing from ``repro.coyote`` beyond
+the errors module: ``repro.coyote.config`` imports this package for
+``ResilienceConfig``, so anything heavier here would cycle.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+from repro.coyote.errors import SimulationError
+
+# Bump when the checkpoint payload layout changes; loads refuse a
+# mismatched format instead of failing somewhere inside unpickling.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointError(SimulationError):
+    """Saving or loading a checkpoint failed."""
+
+
+def save_checkpoint(simulation, path: str | Path,
+                    metadata: dict | None = None) -> Path:
+    """Serialize a paused (or not-yet-started) simulation to ``path``.
+
+    ``metadata`` is an arbitrary JSON-like dict stored alongside the
+    state (the CLI records the kernel name, size and core count so a
+    later ``--resume`` can rebuild the matching workload for
+    verification).  Returns the written path.
+    """
+    orchestrator = simulation.orchestrator
+    if orchestrator._started and not orchestrator.paused:
+        raise CheckpointError(
+            "only a paused simulation can be checkpointed: call "
+            "run(pause_at=...) and check .paused first",
+            cycle=orchestrator.scheduler.current_cycle)
+    # The decode caches hold (instruction, executor-function) pairs;
+    # they are pure caches, rebuilt on demand, and dropping them keeps
+    # the checkpoint small and its contents free of code references.
+    for core in orchestrator.cores:
+        core.hart.flush_decode_cache()
+    payload = {
+        "format": CHECKPOINT_FORMAT,
+        "metadata": dict(metadata or {}),
+        "cycle": orchestrator.scheduler.current_cycle,
+        "simulation": simulation,
+    }
+    path = Path(path)
+    try:
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        # A stray unpicklable member (e.g. a profiler handle) — remove
+        # the partial file so a truncated checkpoint can't be resumed.
+        path.unlink(missing_ok=True)
+        raise CheckpointError(
+            f"simulation state is not serialisable: {exc}") from exc
+    return path
+
+
+def load_checkpoint(path: str | Path):
+    """Read a checkpoint; returns ``(simulation, metadata)``.
+
+    The returned simulation continues with ``run()`` (optionally with
+    another ``pause_at``) exactly where the saved one stopped.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"no checkpoint at {path}")
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, ImportError,
+            AttributeError) as exc:
+        raise CheckpointError(
+            f"{path} is not a readable checkpoint: {exc}") from exc
+    if not isinstance(payload, dict) or "format" not in payload:
+        raise CheckpointError(f"{path} is not a checkpoint file")
+    if payload["format"] != CHECKPOINT_FORMAT:
+        raise CheckpointError(
+            f"{path}: checkpoint format {payload['format']} is not "
+            f"supported (expected {CHECKPOINT_FORMAT})")
+    return payload["simulation"], payload["metadata"]
+
+
+def restore_simulation(path: str | Path):
+    """Convenience wrapper returning just the simulation object."""
+    simulation, _metadata = load_checkpoint(path)
+    return simulation

@@ -20,7 +20,20 @@ from typing import Callable
 
 
 class SchedulerError(Exception):
-    """Raised for invalid scheduling operations."""
+    """Raised for invalid scheduling operations.
+
+    Structured context rides along as attributes (``current_cycle``,
+    ``pending_events``, ``next_event_cycle``) so watchdogs and tests can
+    assert on the scheduler's state instead of parsing the message.
+    """
+
+    def __init__(self, message: str, *, current_cycle: int | None = None,
+                 pending_events: int | None = None,
+                 next_event_cycle: int | None = None):
+        super().__init__(message)
+        self.current_cycle = current_cycle
+        self.pending_events = pending_events
+        self.next_event_cycle = next_event_cycle
 
 
 class Scheduler:
@@ -51,7 +64,11 @@ class Scheduler:
         fires on the next advance through the current cycle.
         """
         if delay < 0:
-            raise SchedulerError(f"cannot schedule in the past: delay={delay}")
+            raise SchedulerError(
+                f"cannot schedule in the past: delay={delay}",
+                current_cycle=self.current_cycle,
+                pending_events=len(self._queue),
+                next_event_cycle=self.next_event_cycle())
         heapq.heappush(self._queue,
                        (self.current_cycle + delay, priority,
                         self._sequence, callback, args))
@@ -89,7 +106,10 @@ class Scheduler:
         """
         if cycle < self.current_cycle:
             raise SchedulerError(
-                f"cannot rewind from {self.current_cycle} to {cycle}")
+                f"cannot rewind from {self.current_cycle} to {cycle}",
+                current_cycle=self.current_cycle,
+                pending_events=len(self._queue),
+                next_event_cycle=self.next_event_cycle())
         queue = self._queue
         fired = 0
         while queue and queue[0][0] < cycle:
@@ -117,12 +137,34 @@ class Scheduler:
             if target >= limit:
                 raise SchedulerError(
                     f"run_until_idle exceeded its cycle budget "
-                    f"({max_cycles} cycles from cycle {start})")
+                    f"({max_cycles} cycles from cycle {start})",
+                    current_cycle=self.current_cycle,
+                    pending_events=len(queue),
+                    next_event_cycle=target)
             if target > self.current_cycle:
                 self.current_cycle = target
             self._drain_current()
             self.current_cycle += 1
         return self.current_cycle
+
+    # -- introspection / state transfer (resilience layer) -------------------
+
+    def iter_events(self) -> list[tuple[int, int, int, Callable, tuple]]:
+        """Snapshot of every pending ``(cycle, priority, seq, callback,
+        args)`` entry, in heap (not firing) order.  Read-only: mutating
+        the returned list does not affect the queue."""
+        return list(self._queue)
+
+    def restore(self, events: list[tuple[int, int, int, Callable, tuple]],
+                *, current_cycle: int, sequence: int,
+                events_fired: int) -> None:
+        """Replace the full scheduler state (checkpoint restore)."""
+        queue = [tuple(event) for event in events]
+        heapq.heapify(queue)
+        self._queue = queue
+        self.current_cycle = current_cycle
+        self._sequence = sequence
+        self._events_fired = events_fired
 
     def _drain_current(self) -> int:
         """Fire every event at (or before) the current cycle."""
@@ -135,7 +177,9 @@ class Scheduler:
             if cycle < now:
                 raise SchedulerError(
                     f"missed event scheduled for cycle {cycle} "
-                    f"(now {now})")
+                    f"(now {now})",
+                    current_cycle=now, pending_events=len(queue),
+                    next_event_cycle=cycle)
             callback(*args)
             fired += 1
         self._events_fired += fired

@@ -126,8 +126,11 @@ class Hart:
 
         # Populated by step(); consumed by the caching layer.
         self.accesses: list[MemAccess] = []
-        # Cycle source injected by the orchestrator so rdcycle works.
-        self.cycle_source = lambda: self.instret
+        # Cycle source injected by the orchestrator so rdcycle works;
+        # None falls back to the retired-instruction count.  Kept a
+        # plain (picklable) attribute so a whole hart — decode cache
+        # aside — can be checkpointed with the rest of the simulation.
+        self.cycle_source = None
 
         self._decode_cache: dict[int, tuple[Instruction, object]] = {}
         self._pc_next = 0
@@ -168,7 +171,9 @@ class Hart:
         if address == csrdef.MHARTID:
             return self.hart_id
         if address in (csrdef.CYCLE, csrdef.MCYCLE, csrdef.TIME):
-            return self.cycle_source() & MASK64
+            source = self.cycle_source
+            return (source() if source is not None else self.instret) \
+                & MASK64
         if address in (csrdef.INSTRET, csrdef.MINSTRET):
             return self.instret & MASK64
         if address == csrdef.VL:

@@ -86,6 +86,11 @@ class Scoreboard:
         """The currently unavailable registers of one core."""
         return frozenset(self._busy[core_id])
 
+    def pending(self) -> list[PendingMiss]:
+        """Every outstanding miss, ordered by miss id (diagnostics)."""
+        return [self._pending[miss_id]
+                for miss_id in sorted(self._pending)]
+
     def outstanding(self, core_id: int | None = None) -> int:
         """Number of outstanding misses (for one core, or in total)."""
         if core_id is None:

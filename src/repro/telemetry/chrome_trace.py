@@ -70,6 +70,16 @@ class ChromeTraceBuilder:
         self.events.append({"ph": "i", "name": "halt", "pid": CORE_PID,
                             "tid": core_id, "ts": cycle, "s": "t"})
 
+    def instant(self, name: str, cycle: int,
+                args: dict | None = None) -> None:
+        """Drop a global instant marker (fault injections, watchdog
+        trips) onto the trace timeline."""
+        event = {"ph": "i", "name": name, "cat": "resilience",
+                 "pid": CORE_PID, "tid": 0, "ts": cycle, "s": "g"}
+        if args:
+            event["args"] = args
+        self.events.append(event)
+
     def _emit_span(self, core_id: int, state: str, start: int,
                    end: int) -> None:
         if end <= start:

@@ -19,6 +19,21 @@ from repro.telemetry.profiler import HostProfiler
 from repro.telemetry.sampler import IntervalSampler
 
 
+class _RequestFanout:
+    """Deliver one completed request to several collectors.
+
+    A class (not a closure) so a hierarchy holding it as its
+    ``telemetry_sink`` stays picklable for checkpoint/restore.
+    """
+
+    def __init__(self, *sinks: Callable[[MemRequest], None]):
+        self.sinks = sinks
+
+    def __call__(self, request: MemRequest) -> None:
+        for sink in self.sinks:
+            sink(request)
+
+
 class Telemetry:
     """Every enabled collector of one simulation run."""
 
@@ -44,10 +59,8 @@ class Telemetry:
         latency = self.latency
         chrome = self.chrome
         if latency is not None and chrome is not None:
-            def sink(request: MemRequest) -> None:
-                latency.observe_request(request)
-                chrome.observe_request(request)
-            return sink
+            return _RequestFanout(latency.observe_request,
+                                  chrome.observe_request)
         if latency is not None:
             return latency.observe_request
         if chrome is not None:

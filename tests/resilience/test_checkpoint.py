@@ -1,0 +1,154 @@
+"""Checkpoint/restore: the resume-vs-straight differential proof.
+
+Follows the ``tests/coyote/test_differential.py`` pattern: a run paused
+at an arbitrary mid-run cycle, checkpointed to disk, reloaded, and
+resumed must produce statistics and Paraver traces byte-identical to an
+uninterrupted run."""
+
+import hashlib
+import json
+import pickle
+
+import pytest
+
+from repro.coyote import Simulation, SimulationConfig
+from repro.coyote.cli import make_workload
+from repro.resilience import (
+    CheckpointError,
+    FaultSpec,
+    ResilienceConfig,
+    load_checkpoint,
+    restore_simulation,
+    save_checkpoint,
+)
+
+_HOST_FIELDS = ("wall_seconds", "host_mips", "host_profile")
+
+
+def _fresh(faults=(), trace=True):
+    workload = make_workload("scalar-matmul", cores=4, size=8)
+    config = SimulationConfig.for_cores(4, trace_misses=trace)
+    if faults:
+        config.resilience = ResilienceConfig(faults=list(faults),
+                                             fault_seed=42)
+    return Simulation(config, workload.program), workload
+
+
+def _stats(results):
+    data = results.to_dict()
+    for field in _HOST_FIELDS:
+        data.pop(field, None)
+    return data
+
+
+def _digest(data) -> str:
+    return hashlib.sha256(
+        json.dumps(data, sort_keys=True, default=str).encode()).hexdigest()
+
+
+def _prv_bytes(simulation, tmp_path, tag):
+    prv, _pcf = simulation.write_trace(tmp_path / f"trace-{tag}")
+    return prv.read_bytes()
+
+
+class TestResumeDifferential:
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9])
+    def test_resume_matches_straight_run(self, tmp_path, fraction):
+        straight, workload = _fresh()
+        reference = straight.run()
+        pause_at = max(1, int(reference.cycles * fraction))
+
+        paused, workload2 = _fresh()
+        assert paused.run(pause_at=pause_at) is None
+        assert paused.paused
+        path = save_checkpoint(paused, tmp_path / "sim.ckpt",
+                               {"kernel": "scalar-matmul"})
+        resumed, metadata = load_checkpoint(path)
+        assert metadata == {"kernel": "scalar-matmul"}
+
+        results = resumed.run()
+        assert _stats(results) == _stats(reference)
+        assert _digest(_stats(results)) == _digest(_stats(reference))
+        assert workload2.verify(resumed.memory)
+        assert _prv_bytes(resumed, tmp_path, "resumed") \
+            == _prv_bytes(straight, tmp_path, "straight")
+
+    def test_double_pause_still_identical(self, tmp_path):
+        straight, _ = _fresh()
+        reference = straight.run()
+
+        simulation, workload = _fresh()
+        assert simulation.run(pause_at=reference.cycles // 3) is None
+        path = save_checkpoint(simulation, tmp_path / "a.ckpt")
+        simulation = restore_simulation(path)
+        assert simulation.run(
+            pause_at=2 * reference.cycles // 3) is None
+        path = save_checkpoint(simulation, tmp_path / "b.ckpt")
+        simulation = restore_simulation(path)
+        results = simulation.run()
+        assert _stats(results) == _stats(reference)
+        assert workload.verify(simulation.memory)
+
+    def test_resume_under_fault_injection(self, tmp_path):
+        faults = [FaultSpec(target="l2bank", kind="delay", extra=5,
+                            jitter=10, probability=0.3),
+                  FaultSpec(target="noc", kind="duplicate",
+                            probability=0.2)]
+        straight, _ = _fresh(faults)
+        reference = straight.run()
+
+        paused, workload = _fresh(faults)
+        assert paused.run(pause_at=reference.cycles // 2) is None
+        path = save_checkpoint(paused, tmp_path / "faulty.ckpt")
+        resumed = restore_simulation(path)
+        results = resumed.run()
+        # The injector's PRNG state travels with the checkpoint, so the
+        # resumed fault sequence is the straight run's fault sequence.
+        assert _stats(results) == _stats(reference)
+        assert workload.verify(resumed.memory)
+
+    def test_pause_before_start_is_resumable(self, tmp_path):
+        straight, _ = _fresh()
+        reference = straight.run()
+        simulation, _ = _fresh()
+        assert simulation.run(pause_at=0) is None
+        path = save_checkpoint(simulation, tmp_path / "zero.ckpt")
+        results = restore_simulation(path).run()
+        assert _stats(results) == _stats(reference)
+
+
+class TestCheckpointErrors:
+    def test_completed_simulation_refuses_checkpoint(self, tmp_path):
+        simulation, _ = _fresh()
+        simulation.run()
+        with pytest.raises(CheckpointError, match="paused"):
+            save_checkpoint(simulation, tmp_path / "late.ckpt")
+
+    def test_unstarted_simulation_checkpoints(self, tmp_path):
+        simulation, workload = _fresh()
+        path = save_checkpoint(simulation, tmp_path / "cold.ckpt")
+        results = restore_simulation(path).run()
+        assert results is not None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_garbage_file(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"not a pickle at all")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_wrong_payload_shape(self, tmp_path):
+        path = tmp_path / "shape.ckpt"
+        path.write_bytes(pickle.dumps(["not", "a", "checkpoint"]))
+        with pytest.raises(CheckpointError, match="not a checkpoint"):
+            load_checkpoint(path)
+
+    def test_unsupported_format_version(self, tmp_path):
+        path = tmp_path / "future.ckpt"
+        path.write_bytes(pickle.dumps({"format": 999, "metadata": {},
+                                       "simulation": None}))
+        with pytest.raises(CheckpointError, match="format 999"):
+            load_checkpoint(path)
