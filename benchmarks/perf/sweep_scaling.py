@@ -1,0 +1,135 @@
+"""Parallel-sweep scaling harness.
+
+Times one design-space campaign (a 2-axis, >= 8-point sweep of a
+multi-core scalar matmul) at several worker counts and records the
+wall-clock speedup of each against the ``workers=1`` reference into
+``BENCH_sweep.json`` at the repo root.  Every timed run also checks the
+differential guarantee: the fanned-out table's canonical dict must be
+byte-identical to the serial one.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python -m benchmarks.perf.sweep_scaling
+    PYTHONPATH=src python -m benchmarks.perf.sweep_scaling --quick
+    PYTHONPATH=src python -m benchmarks.perf.sweep_scaling \
+        --workers 1,2,4,8 --size 16
+
+Speedup scales with the host's *available* cores: the recorded entry
+includes ``host_cpus`` so a single-core CI container's flat curve is
+not mistaken for an engine regression.  On an unloaded 4-core host the
+expected ``workers=4`` speedup for the default campaign is >= 2x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.coyote.sweep import Sweep
+from repro.kernels import scalar_matmul
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TRAJECTORY_PATH = REPO_ROOT / "BENCH_sweep.json"
+
+# The campaign: 2 axes x (2*4) = 8 cartesian points.
+AXES = {
+    "l2_mode": ["shared", "private"],
+    "noc_latency": [2, 4, 6, 8],
+}
+DIFFERENTIAL_METRICS = ("cycles", "instructions", "l1d_miss_rate")
+
+
+def host_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def build_sweep(cores: int) -> Sweep:
+    return Sweep(base_cores=cores, axes=AXES)
+
+
+def time_campaign(sweep: Sweep, factory, workers: int) -> tuple[float, dict]:
+    started = time.perf_counter()
+    table = sweep.run(factory, workers=workers, on_error="skip")
+    elapsed = time.perf_counter() - started
+    return elapsed, table.to_dict(DIFFERENTIAL_METRICS)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark parallel-sweep scaling vs worker count.")
+    parser.add_argument("--workers", default="1,2,4",
+                        help="comma-separated worker counts to time "
+                             "(the 1 reference is always included)")
+    parser.add_argument("--cores", type=int, default=4,
+                        help="simulated cores per point")
+    parser.add_argument("--size", type=int, default=12,
+                        help="matmul problem size per point")
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller problem (CI-friendly)")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="don't append to BENCH_sweep.json")
+    args = parser.parse_args(argv)
+
+    counts = sorted({int(token) for token in args.workers.split(",")}
+                    | {1})
+    cores = args.cores
+    size = 8 if args.quick else args.size
+
+    def factory():
+        return scalar_matmul(size=size, num_cores=cores)
+
+    sweep = build_sweep(cores)
+    points = len(sweep.points())
+    print(f"campaign: {points} points, scalar-matmul size={size} "
+          f"x {cores} cores, host cpus {host_cpus()}")
+
+    results: dict[str, dict] = {}
+    reference_seconds = None
+    reference_table = None
+    for workers in counts:
+        elapsed, table = time_campaign(sweep, factory, workers)
+        if workers == 1:
+            reference_seconds = elapsed
+            reference_table = table
+        elif table != reference_table:
+            print(f"FAIL: workers={workers} table diverged from the "
+                  f"serial reference", file=sys.stderr)
+            return 1
+        speedup = (reference_seconds / elapsed
+                   if reference_seconds and elapsed else 1.0)
+        results[str(workers)] = {
+            "wall_seconds": round(elapsed, 6),
+            "speedup_vs_serial": round(speedup, 3),
+        }
+        print(f"  workers={workers:<3d} {elapsed:8.2f}s  "
+              f"speedup {speedup:5.2f}x")
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "points": points,
+        "axes": {name: [str(v) for v in values]
+                 for name, values in AXES.items()},
+        "kernel": f"scalar-matmul size={size} cores={cores}",
+        "host_cpus": host_cpus(),
+        "workers": results,
+        "differential_identical": True,
+    }
+    if not args.no_trajectory:
+        trajectory = []
+        if TRAJECTORY_PATH.exists():
+            trajectory = json.loads(TRAJECTORY_PATH.read_text())
+        trajectory.append(entry)
+        TRAJECTORY_PATH.write_text(json.dumps(trajectory, indent=2) + "\n")
+        print(f"trajectory appended to {TRAJECTORY_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

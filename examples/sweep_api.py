@@ -2,32 +2,34 @@
 """The design-space sweep API in one screen.
 
 Coyote's purpose is "the fast comparison of different designs"; the
-`Sweep` helper turns that into a declarative call: name the axes, give a
-workload, read the table.
+``repro.api.sweep`` front door turns that into a declarative call: name
+the kernel and the axes, read the table.  ``workers=N`` fans the points
+out to a process pool — the resulting table is bit-identical to the
+serial one, so parallelism is purely a wall-clock knob.
 """
 
-from repro.coyote import Sweep
-from repro.kernels import spmv_csr_gather_accum
+from repro.api import sweep
 
 
 def main() -> None:
-    sweep = Sweep(
-        base_cores=16,
+    table = sweep(
+        "spmv-csr-gather-accum", cores=16, size=64,
         axes={
             "l2_mode": ["shared", "private"],
             "mapping_policy": ["set-interleaving", "page-to-bank"],
             "noc_latency": [2, 12],
-        })
-    table = sweep.run(
-        lambda: spmv_csr_gather_accum(num_rows=64, nnz_per_row=8,
-                                      num_cores=16))
+        },
+        workers=2, on_error="skip")
 
-    print(table.format(metrics=("cycles", "l1d_miss_rate",
-                                "raw_stall_cycles")))
+    print(table.to_text(metrics=("cycles", "l1d_miss_rate",
+                                 "raw_stall_cycles")))
     best = table.best("cycles")
     print()
     print(f"best design point: {best.settings} "
           f"({best.results.cycles} cycles)")
+    aggregate = table.aggregate(("cycles",))
+    print(f"campaign: {aggregate['succeeded']}/{aggregate['points']} "
+          f"points succeeded across {table.workers} worker(s)")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,197 @@
+"""The one front door to the Coyote reproduction.
+
+Every supported entry point — running one simulation, sweeping a design
+space (serially or across a worker pool), replaying a checkpoint,
+building a configuration — is importable from here, and the blessed
+types are re-exported under their canonical names:
+
+>>> from repro.api import run, sweep
+>>> outcome = run("scalar-matmul", cores=4, size=8)
+>>> outcome.verified and outcome.results.succeeded()
+True
+>>> table = sweep("scalar-matmul", cores=4, size=8,
+...               axes={"l2_mode": ["shared", "private"]}, workers=2)
+>>> len(table.points)
+2
+
+``repro.coyote`` and ``repro.resilience`` re-export from this module,
+so old import paths keep working; new code should import from
+``repro.api``.  The stability contract (public vs internal, the
+migration table from historical spellings) is documented in
+``docs/API.md`` and enforced in CI by ``python -m
+repro.tools.check_api``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.coyote.config import ConfigBuilder, SimulationConfig
+from repro.coyote.errors import SimulationError
+from repro.coyote.parallel import ParallelSweep, RemoteError, WorkerCrash
+from repro.coyote.simulation import Simulation
+from repro.coyote.stats import CoreStats, SimulationResults
+from repro.coyote.sweep import (
+    Sweep,
+    SweepError,
+    SweepPoint,
+    SweepTable,
+)
+from repro.kernels import KERNELS, instantiate
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    restore_simulation,
+    save_checkpoint,
+)
+from repro.resilience.config import FaultSpec, ResilienceConfig
+from repro.resilience.faults import FaultPlan
+from repro.resilience.watchdog import DeadlockError
+from repro.telemetry.config import TelemetryConfig
+
+__all__ = [
+    # entry points
+    "run",
+    "sweep",
+    "replay",
+    # simulation
+    "Simulation",
+    "SimulationConfig",
+    "ConfigBuilder",
+    "SimulationResults",
+    "CoreStats",
+    "RunOutcome",
+    # sweeping
+    "Sweep",
+    "ParallelSweep",
+    "SweepPoint",
+    "SweepTable",
+    "SweepError",
+    "WorkerCrash",
+    "RemoteError",
+    # configuration of the optional subsystems
+    "TelemetryConfig",
+    "ResilienceConfig",
+    "FaultSpec",
+    "FaultPlan",
+    # checkpoints
+    "save_checkpoint",
+    "load_checkpoint",
+    "restore_simulation",
+    # errors
+    "SimulationError",
+    "DeadlockError",
+    "CheckpointError",
+]
+
+
+@dataclass
+class RunOutcome:
+    """What :func:`run` and :func:`replay` hand back.
+
+    ``verified`` is ``None`` when no workload reference was available
+    to check against (a replayed checkpoint without kernel metadata).
+    """
+
+    results: SimulationResults
+    verified: bool | None
+    simulation: Simulation
+    workload: Any = None
+
+    @property
+    def succeeded(self) -> bool:
+        """Clean exits and (when checkable) a verified output."""
+        return bool(self.results.succeeded()
+                    and (self.verified is None or self.verified))
+
+
+def _resolve_workload(kernel, cores: int, size: int | None):
+    """A kernel name, a Workload object, or a zero-arg factory."""
+    if isinstance(kernel, str):
+        return instantiate(kernel, cores, size)
+    if callable(kernel) and not hasattr(kernel, "program"):
+        return kernel()
+    return kernel
+
+
+def run(kernel, cores: int = 8, *, size: int | None = None,
+        config: SimulationConfig | None = None,
+        pause_at: int | None = None, **overrides) -> RunOutcome:
+    """Run one kernel end-to-end and verify its output.
+
+    ``kernel`` is a name from :data:`repro.kernels.KERNELS`, a built
+    workload object, or a zero-argument workload factory.  ``config``
+    supplies a full :class:`SimulationConfig`; otherwise one is built
+    as ``SimulationConfig.for_cores(cores, **overrides)``.  With
+    ``pause_at`` the simulation stops at that cycle for checkpointing
+    (``outcome.results`` is ``None``-free only for completed runs, so
+    paused runs return ``verified=None`` and no results access).
+    """
+    workload = _resolve_workload(kernel, cores, size)
+    if config is None:
+        config = SimulationConfig.for_cores(cores, **overrides)
+    elif overrides:
+        raise ValueError(
+            f"pass either a full config or keyword overrides, not both "
+            f"(got overrides {sorted(overrides)})")
+    simulation = Simulation(config, workload.program)
+    results = simulation.run(pause_at=pause_at)
+    if simulation.paused:
+        return RunOutcome(results=None, verified=None,
+                          simulation=simulation, workload=workload)
+    verified = workload.verify(simulation.memory)
+    return RunOutcome(results=results, verified=verified,
+                      simulation=simulation, workload=workload)
+
+
+def sweep(kernel, cores: int = 8, *, axes: dict[str, list],
+          size: int | None = None, workers: int = 1,
+          on_error: str = "raise", require_verified: bool = True,
+          progress: bool = False, campaign_path=None,
+          **base_overrides) -> SweepTable:
+    """Sweep configuration axes for one kernel; returns the table.
+
+    The cartesian product of ``axes`` is simulated — in-process for
+    ``workers=1``, fanned out to a worker pool for ``workers=N`` with
+    bit-identical results — and every extra keyword is applied to each
+    point's base configuration.  ``kernel`` accepts the same spellings
+    as :func:`run`, plus a factory taking the point's settings dict.
+    """
+    if isinstance(kernel, str):
+        name = kernel
+
+        def make_workload():
+            return instantiate(name, cores, size)
+    else:
+        make_workload = kernel if callable(kernel) else lambda: kernel
+    return Sweep(base_cores=cores, axes=axes, **base_overrides).run(
+        make_workload, require_verified=require_verified,
+        on_error=on_error, workers=workers, progress=progress,
+        campaign_path=campaign_path)
+
+
+def replay(checkpoint: str | Path, *,
+           pause_at: int | None = None) -> RunOutcome:
+    """Resume a checkpoint and run it to completion.
+
+    When the checkpoint's metadata records the kernel (the CLI writes
+    ``kernel``/``cores``/``size``), the finished output is verified
+    against the rebuilt workload; otherwise ``verified`` is ``None``.
+    """
+    simulation, metadata = load_checkpoint(checkpoint)
+    results = simulation.run(pause_at=pause_at)
+    if simulation.paused:
+        return RunOutcome(results=None, verified=None,
+                          simulation=simulation)
+    workload = None
+    verified = None
+    if metadata.get("kernel") in KERNELS:
+        workload = instantiate(metadata["kernel"],
+                               metadata.get("cores",
+                                            results.num_cores),
+                               metadata.get("size"))
+        verified = workload.verify(simulation.memory)
+    return RunOutcome(results=results, verified=verified,
+                      simulation=simulation, workload=workload)

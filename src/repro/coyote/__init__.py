@@ -1,23 +1,53 @@
-"""Coyote: the execution-driven simulator (orchestrator + public API)."""
+"""Coyote: the execution-driven simulator (orchestrator + public API).
 
-from repro.coyote.config import SimulationConfig
-from repro.coyote.orchestrator import Orchestrator, SimulationError
-from repro.coyote.simulation import Simulation
-from repro.coyote.stats import CoreStats, SimulationResults
-from repro.coyote.sweep import Sweep, SweepPoint, SweepTable
-from repro.coyote.trace import MissTraceRecorder
-from repro.telemetry import TelemetryConfig
+The canonical import surface is :mod:`repro.api`; this package
+re-exports the blessed names from there (lazily, to stay cycle-free)
+so historical ``from repro.coyote import Simulation`` imports keep
+working, plus the internal-but-stable extras (:class:`Orchestrator`,
+:class:`MissTraceRecorder`) that live below the facade.
+"""
 
-__all__ = [
+import importlib
+
+# Names served from the repro.api facade (the canonical path).
+_API_NAMES = frozenset({
+    "ConfigBuilder",
     "CoreStats",
-    "MissTraceRecorder",
-    "TelemetryConfig",
-    "Orchestrator",
+    "ParallelSweep",
+    "RemoteError",
     "Simulation",
     "SimulationConfig",
     "SimulationError",
     "SimulationResults",
     "Sweep",
+    "SweepError",
     "SweepPoint",
     "SweepTable",
-]
+    "TelemetryConfig",
+    "WorkerCrash",
+})
+
+# Internal-but-stable names that stay below the facade.
+_LOCAL_NAMES = {
+    "MissTraceRecorder": "repro.coyote.trace",
+    "Orchestrator": "repro.coyote.orchestrator",
+}
+
+__all__ = sorted(_API_NAMES | set(_LOCAL_NAMES))
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        api = importlib.import_module("repro.api")
+        value = getattr(api, name)
+    elif name in _LOCAL_NAMES:
+        value = getattr(importlib.import_module(_LOCAL_NAMES[name]), name)
+    else:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value  # cache: subsequent lookups skip this hook
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -6,6 +6,13 @@ the paper lists as simulation outputs.  Example::
     coyote-sim --kernel scalar-spmv --cores 8 --l2-mode private \\
                --mapping page-to-bank --trace /tmp/spmv
 
+Design-space campaigns run through the ``sweep`` subcommand, fanning
+the cartesian points out to a worker pool::
+
+    coyote-sim sweep --kernel scalar-matmul --cores 2 --size 8 \\
+               --axes l2_mode=shared,private --axes noc_latency=2,6 \\
+               --workers 4 --on-error skip
+
 Exit codes follow a fixed taxonomy so campaign scripts can triage
 without parsing stderr: 0 success, 1 generic simulation failure,
 2 configuration error, 3 verification failure, 4 deadlock (watchdog or
@@ -23,15 +30,18 @@ import sys
 from repro.coyote.config import SimulationConfig
 from repro.coyote.errors import SimulationError
 from repro.coyote.simulation import Simulation
+from repro.coyote.sweep import Sweep
+from repro import kernels
 from repro.kernels import KERNELS
 from repro.memhier.mapping import policy_names
 from repro.resilience import (
     DeadlockError,
     load_checkpoint,
-    load_fault_plan,
     save_checkpoint,
 )
+from repro.resilience.faults import FaultPlan
 from repro.telemetry import TelemetryConfig
+from repro.utils.deprecation import warn_deprecated
 
 DEFAULT_SAMPLE_INTERVAL = 1000
 
@@ -42,6 +52,18 @@ EXIT_CONFIG = 2           # bad flags, config file, or fault plan
 EXIT_VERIFY = 3           # ran to completion but the output is wrong
 EXIT_DEADLOCK = 4         # watchdog trip or provable forward-progress loss
 EXIT_INTERRUPT = 130      # SIGINT (the shell convention: 128 + 2)
+
+
+class _DeprecatedAlias(argparse.Action):
+    """Store the value under the canonical dest, warning once per use."""
+
+    def __init__(self, *args, canonical: str = "", **kwargs):
+        self.canonical = canonical
+        super().__init__(*args, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        warn_deprecated(option_string, self.canonical, stacklevel=2)
+        setattr(namespace, self.dest, values)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,17 +136,22 @@ def build_parser() -> argparse.ArgumentParser:
     resilience.add_argument("--check-invariants", type=int, default=None,
                             metavar="CYCLES",
                             help="run conservation checks every N cycles")
-    resilience.add_argument("--checkpoint-at", type=int, default=None,
-                            metavar="CYCLE",
+    resilience.add_argument("--pause-at", type=int, default=None,
+                            metavar="CYCLE", dest="pause_at",
                             help="pause at this cycle, write a "
-                                 "checkpoint (--checkpoint-out) and exit")
+                                 "checkpoint (--checkpoint-out) and exit "
+                                 "(mirrors Simulation.run(pause_at=))")
+    resilience.add_argument("--checkpoint-at", type=int, metavar="CYCLE",
+                            dest="pause_at", action=_DeprecatedAlias,
+                            canonical="--pause-at",
+                            help=argparse.SUPPRESS)
     resilience.add_argument("--checkpoint-out", metavar="PATH",
                             default=None,
-                            help="where --checkpoint-at writes the "
+                            help="where --pause-at writes the "
                                  "checkpoint")
     resilience.add_argument("--resume", metavar="PATH", default=None,
                             help="resume a checkpoint written by "
-                                 "--checkpoint-at (kernel/config flags "
+                                 "--pause-at (kernel/config flags "
                                  "are taken from the checkpoint)")
     return parser
 
@@ -155,28 +182,150 @@ def telemetry_from_args(args: argparse.Namespace,
 
 def make_workload(kernel: str, cores: int, size: int | None):
     """Instantiate a kernel with a sensible size argument."""
-    factory = KERNELS[kernel]
-    if size is None:
-        return factory(num_cores=cores)
-    if "matmul" in kernel:
-        return factory(size=size, num_cores=cores)
-    if "spmv" in kernel:
-        return factory(num_rows=size, num_cores=cores)
-    if kernel == "nn-dense-relu":
-        return factory(in_dim=size, out_dim=size, num_cores=cores)
-    if kernel == "mlp-inference":
-        return factory(dims=(size, size, size), num_cores=cores)
-    return factory(length=size, num_cores=cores)
+    return kernels.instantiate(kernel, cores, size)
+
+
+# -- the sweep subcommand ----------------------------------------------------
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coyote-sim sweep",
+        description="Run a cartesian design-space sweep, optionally "
+                    "fanned out to a pool of worker processes.")
+    parser.add_argument("--kernel", choices=sorted(KERNELS),
+                        default="scalar-spmv", help="workload to sweep")
+    parser.add_argument("--cores", type=int, default=8,
+                        help="number of simulated cores per point")
+    parser.add_argument("--size", type=int, default=None,
+                        help="problem size (kernel-specific default)")
+    parser.add_argument("--axes", action="append", metavar="NAME=V1,V2",
+                        default=[], required=True,
+                        help="one sweep axis (repeatable): a config "
+                             "field name and its comma-separated values")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes (1 = in-process)")
+    parser.add_argument("--on-error", choices=("raise", "skip"),
+                        default="skip",
+                        help="campaign failure policy (default: skip — "
+                             "record the point and carry on)")
+    parser.add_argument("--metrics", default="cycles",
+                        metavar="M1,M2",
+                        help="comma-separated result metrics to tabulate")
+    parser.add_argument("--out", metavar="JSON", default=None,
+                        help="write the canonical table "
+                             "(SweepTable.to_dict) plus the campaign "
+                             "aggregate as JSON")
+    parser.add_argument("--campaign", metavar="PATH", default=None,
+                        help="campaign checkpoint: completed points are "
+                             "persisted here and a restarted sweep "
+                             "warm-starts from them")
+    parser.add_argument("--progress", action="store_true",
+                        help="stream k/n-points progress with ETA "
+                             "through the telemetry logger")
+    parser.add_argument("--best", metavar="METRIC", default=None,
+                        help="also print the best point under this "
+                             "metric (minimised)")
+    return parser
+
+
+def parse_axis_token(token: str):
+    """One axis value: int, float, bool, or plain string."""
+    lowered = token.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for kind in (int, float):
+        try:
+            return kind(token)
+        except ValueError:
+            continue
+    return token
+
+
+def parse_axes(specs: list[str]) -> dict[str, list]:
+    """``["l2_mode=shared,private", "noc_latency=2,6"]`` -> axes dict."""
+    axes: dict[str, list] = {}
+    for spec in specs:
+        name, separator, values = spec.partition("=")
+        name = name.strip()
+        if not separator or not name or not values:
+            raise ValueError(
+                f"bad axis {spec!r} (expected NAME=VALUE[,VALUE...])")
+        if name in axes:
+            raise ValueError(f"duplicate axis {name!r}")
+        tokens = [token.strip() for token in values.split(",")]
+        if not all(tokens) or any("=" in token for token in tokens):
+            raise ValueError(
+                f"bad axis {spec!r} (expected NAME=VALUE[,VALUE...])")
+        axes[name] = [parse_axis_token(token) for token in tokens]
+    return axes
+
+
+def sweep_main(argv: list[str]) -> int:
+    parser = build_sweep_parser()
+    args = parser.parse_args(argv)
+    if args.progress:
+        logging.basicConfig(
+            level=logging.INFO,
+            format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    try:
+        axes = parse_axes(args.axes)
+        sweep = Sweep(base_cores=args.cores, axes=axes)
+    except ValueError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    kernel, cores, size = args.kernel, args.cores, args.size
+
+    def factory():
+        return make_workload(kernel, cores, size)
+
+    metrics = tuple(name.strip() for name in args.metrics.split(",")
+                    if name.strip())
+    try:
+        table = sweep.run(factory, on_error=args.on_error,
+                          workers=args.workers, progress=args.progress,
+                          campaign_path=args.campaign)
+    except (ValueError, DeadlockError, SimulationError) as exc:
+        print(f"sweep failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return (EXIT_DEADLOCK if isinstance(exc, DeadlockError)
+                else EXIT_FAILURE)
+    print(table.to_text(metrics=metrics))
+    aggregate = table.aggregate(metrics)
+    print(f"\npoints               : {aggregate['points']} "
+          f"({aggregate['failed']} failed)")
+    print(f"workers              : {table.workers}")
+    print(f"campaign wall time   : {table.wall_seconds:.2f} s")
+    if args.best is not None and aggregate["succeeded"]:
+        best = table.best(args.best)
+        print(f"best {args.best:<15}: {best.settings} "
+              f"({best.metric(args.best):g})")
+    for settings, error in table.failures():
+        print(f"failed point {settings}: {type(error).__name__}: {error}",
+              file=sys.stderr)
+    if args.out is not None:
+        document = table.to_dict(metrics=metrics)
+        document["aggregate"] = aggregate
+        with open(args.out, "w") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        print(f"table written        : {args.out}")
+    return EXIT_OK if not table.failures() else EXIT_FAILURE
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.sample_interval < 0:
         parser.error(f"--sample-interval must be >= 0, "
                      f"got {args.sample_interval}")
-    if (args.checkpoint_at is None) != (args.checkpoint_out is None):
-        parser.error("--checkpoint-at and --checkpoint-out go together")
+    if (args.pause_at is None) != (args.checkpoint_out is None):
+        parser.error("--pause-at (formerly --checkpoint-at) and "
+                     "--checkpoint-out go together")
     if args.resume is not None and args.config is not None:
         parser.error("--resume restores the checkpointed configuration; "
                      "--config cannot apply")
@@ -215,10 +364,7 @@ def main(argv: list[str] | None = None) -> int:
                     trace_misses=args.trace is not None)
             resilience = config.resilience
             if args.inject is not None:
-                specs, plan_seed = load_fault_plan(args.inject)
-                resilience.faults = specs
-                if plan_seed is not None:
-                    resilience.fault_seed = plan_seed
+                FaultPlan.load(args.inject).apply(resilience)
             if args.fault_seed is not None:
                 resilience.fault_seed = args.fault_seed
             if args.watchdog is not None:
@@ -240,7 +386,7 @@ def main(argv: list[str] | None = None) -> int:
         simulation = Simulation(config, workload.program)
 
     try:
-        results = simulation.run(pause_at=args.checkpoint_at)
+        results = simulation.run(pause_at=args.pause_at)
     except KeyboardInterrupt:
         _dump_partial(simulation)
         return EXIT_INTERRUPT

@@ -57,6 +57,12 @@ class SimulationConfig:
             raise ValueError("max_cycles must be positive")
 
     @classmethod
+    def builder(cls, num_cores: int = 8) -> "ConfigBuilder":
+        """Start a fluent builder: ``SimulationConfig.builder(8).
+        l2_mode("private").noc("mesh").build()``."""
+        return ConfigBuilder(num_cores)
+
+    @classmethod
     def for_cores(cls, num_cores: int, **overrides) -> "SimulationConfig":
         """Build the default tiled layout for ``num_cores`` cores.
 
@@ -127,3 +133,67 @@ class SimulationConfig:
     def load(cls, path: str | Path) -> "SimulationConfig":
         """Read a configuration written by :meth:`save`."""
         return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+class ConfigBuilder:
+    """Fluent construction of a :class:`SimulationConfig`.
+
+    Every setter returns the builder, and :meth:`build` routes through
+    :meth:`SimulationConfig.for_cores`, so the builder accepts exactly
+    the same knobs (``MemHierConfig`` fields or ``SimulationConfig``
+    fields) with the same validation.  Unknown names fail at
+    :meth:`build` with the dataclass's own error.
+
+    >>> config = (SimulationConfig.builder(8)
+    ...           .l2_mode("private").noc("mesh")
+    ...           .max_cycles(1_000_000).build())
+    """
+
+    def __init__(self, num_cores: int = 8):
+        self._num_cores = num_cores
+        self._overrides: dict = {}
+
+    def cores(self, num_cores: int) -> "ConfigBuilder":
+        self._num_cores = num_cores
+        return self
+
+    def set(self, **overrides) -> "ConfigBuilder":
+        """Set any ``for_cores`` override by keyword."""
+        self._overrides.update(overrides)
+        return self
+
+    # Named setters for the knobs every design study touches.
+
+    def l2_mode(self, mode: str) -> "ConfigBuilder":
+        return self.set(l2_mode=mode)
+
+    def mapping(self, policy: str) -> "ConfigBuilder":
+        return self.set(mapping_policy=policy)
+
+    def noc(self, kind: str) -> "ConfigBuilder":
+        return self.set(noc_kind=kind)
+
+    def noc_latency(self, cycles: int) -> "ConfigBuilder":
+        return self.set(noc_latency=cycles)
+
+    def mem_latency(self, cycles: int) -> "ConfigBuilder":
+        return self.set(mem_latency=cycles)
+
+    def vlen(self, bits: int) -> "ConfigBuilder":
+        return self.set(vlen_bits=bits)
+
+    def max_cycles(self, cycles: int) -> "ConfigBuilder":
+        return self.set(max_cycles=cycles)
+
+    def trace_misses(self, enabled: bool = True) -> "ConfigBuilder":
+        return self.set(trace_misses=enabled)
+
+    def telemetry(self, telemetry: TelemetryConfig) -> "ConfigBuilder":
+        return self.set(telemetry=telemetry)
+
+    def resilience(self, resilience: ResilienceConfig) -> "ConfigBuilder":
+        return self.set(resilience=resilience)
+
+    def build(self) -> SimulationConfig:
+        return SimulationConfig.for_cores(self._num_cores,
+                                          **self._overrides)

@@ -1,0 +1,261 @@
+"""The parallel sweep execution engine.
+
+Coyote exists for "the fast comparison of different designs", but a
+cartesian campaign run serially leaves every host core but one idle.
+:class:`ParallelSweep` fans sweep points out to a pool of worker
+*processes* — one process per point, at most ``workers`` alive at a
+time — and reassembles the results in deterministic axis order, so a
+``workers=N`` table is bit-identical to a ``workers=1`` table
+(``SweepTable.to_dict()`` compares equal byte for byte).
+
+Design decisions, in the order they matter:
+
+* **Determinism.**  Every worker rebuilds its point's full
+  configuration (seeded fault injection, telemetry, watchdog) from the
+  same ``base + settings`` recipe as the serial loop — the shared
+  :func:`~repro.coyote.sweep.run_point` — and the parent orders
+  outcomes by point index, never by completion order.
+* **Crash isolation.**  One process per point means a worker that dies
+  hard (segfault, ``os._exit``, OOM-kill) loses that point only: the
+  parent observes the EOF on the result pipe plus the exit code and
+  records a :class:`WorkerCrash` failure, exactly like any other
+  ``on_error="skip"`` failure.
+* **Error transport.**  A worker-side exception crosses the process
+  boundary only if it survives a local pickle round-trip; otherwise a
+  picklable :class:`RemoteError` stand-in carries the original type
+  name and message, so failure records stay identical either way.
+* **Warm-start.**  With ``campaign_path`` set, every completed point is
+  appended to an atomic campaign checkpoint
+  (:func:`repro.resilience.checkpoint.save_campaign`); a restarted
+  campaign loads it and only runs the missing points.
+* **Progress.**  ``progress=True`` streams ``k/n points, ETA`` through
+  the ``repro.telemetry`` logger namespace
+  (:class:`~repro.telemetry.campaign.CampaignProgress`).
+
+The engine uses the ``fork`` start method where the platform offers it
+(workload factories may be closures); on spawn-only platforms the
+factory must be picklable (a module-level function).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from multiprocessing import connection
+from typing import Any, Callable
+
+from repro.coyote.errors import SimulationError
+from repro.coyote.sweep import (
+    Sweep,
+    SweepPoint,
+    SweepTable,
+    _canonical_value,
+    run_point,
+)
+from repro.resilience.checkpoint import load_campaign, save_campaign
+from repro.telemetry.campaign import CampaignProgress
+
+# How long the parent sleeps in connection.wait when nothing is ready.
+_WAIT_SECONDS = 0.05
+
+
+class WorkerCrash(SimulationError):
+    """A sweep worker process died without reporting a result."""
+
+
+class RemoteError(SimulationError):
+    """Stand-in for a worker exception that could not cross the
+    process boundary; ``kind`` preserves the original type name."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+    def __reduce__(self):
+        return (RemoteError, (self.kind, str(self.args[0])))
+
+
+def _portable_error(error: Exception | None) -> Exception | None:
+    """The error itself if it survives pickling, else a RemoteError."""
+    if error is None:
+        return None
+    try:
+        pickle.loads(pickle.dumps(error, pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return RemoteError(type(error).__name__, str(error))
+    return error
+
+
+def _worker_main(conn, index: int, settings: dict[str, Any],
+                 base_cores: int, base_overrides: dict[str, Any],
+                 make_workload: Callable, require_verified: bool) -> None:
+    """Run one point in a child process and ship the outcome back."""
+    try:
+        point = run_point(settings, base_cores, base_overrides,
+                          make_workload, require_verified)
+        point.error = _portable_error(point.error)
+    except BaseException as exc:  # run_point never raises; belt & braces
+        point = SweepPoint(settings, None, False, _portable_error(exc))
+    try:
+        conn.send((index, point))
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        # Results themselves must be picklable (the checkpoint subsystem
+        # guarantees it); if something slipped through, degrade to a
+        # failure record rather than losing the campaign slot.
+        conn.send((index, SweepPoint(
+            settings, None, False,
+            RemoteError(type(exc).__name__,
+                        f"sweep point result was not picklable: {exc}"))))
+    finally:
+        conn.close()
+
+
+def settings_key(settings: dict[str, Any]) -> tuple:
+    """A canonical, hashable identity of one point's settings."""
+    return tuple((name, _canonical_value(value))
+                 for name, value in settings.items())
+
+
+def axes_key(axes: dict[str, list]) -> str:
+    """A canonical identity of a sweep's axes (campaign-file guard)."""
+    return repr({name: [_canonical_value(value) for value in values]
+                 for name, values in axes.items()})
+
+
+class ParallelSweep:
+    """Campaign executor behind :meth:`repro.coyote.sweep.Sweep.run`.
+
+    ``workers=1`` executes in-process (no fork overhead, but also no
+    crash isolation); ``workers=N`` runs at most N single-point worker
+    processes at a time.  ``on_error="skip"`` records failures and
+    carries on; ``"raise"`` terminates every outstanding worker at the
+    first observed failure and re-raises — prompt, but which failing
+    point surfaces first is completion-order dependent, so deterministic
+    campaigns should prefer ``"skip"``.
+    """
+
+    def __init__(self, sweep: Sweep, *, workers: int = 1,
+                 on_error: str = "raise", require_verified: bool = True,
+                 progress: bool = False, campaign_path=None,
+                 mp_context: str | None = None):
+        if on_error not in ("raise", "skip"):
+            raise ValueError(
+                f"on_error must be 'raise' or 'skip', got {on_error!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.sweep = sweep
+        self.workers = workers
+        self.on_error = on_error
+        self.require_verified = require_verified
+        self.progress = progress
+        self.campaign_path = campaign_path
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(mp_context)
+
+    # -- public entry ------------------------------------------------------
+
+    def run(self, make_workload: Callable) -> SweepTable:
+        started = time.perf_counter()
+        points = self.sweep.points()
+        outcomes: dict[int, SweepPoint] = {}
+        completed_store: dict[tuple, SweepPoint] = {}
+        key = axes_key(self.sweep.axes)
+        if self.campaign_path is not None:
+            completed_store = load_campaign(self.campaign_path, key)
+            for index, settings in enumerate(points):
+                stored = completed_store.get(settings_key(settings))
+                if stored is not None:
+                    outcomes[index] = stored
+        pending = [(index, settings)
+                   for index, settings in enumerate(points)
+                   if index not in outcomes]
+        reporter = CampaignProgress(len(points)) if self.progress else None
+        if reporter is not None and outcomes:
+            for index in sorted(outcomes):
+                reporter.point_completed(points[index],
+                                         failed=outcomes[index].failed)
+
+        def record(index: int, point: SweepPoint) -> None:
+            outcomes[index] = point
+            if reporter is not None:
+                reporter.point_completed(point.settings,
+                                         failed=point.failed)
+            if self.campaign_path is not None:
+                completed_store[settings_key(point.settings)] = point
+                save_campaign(self.campaign_path, key, completed_store)
+            if point.failed and self.on_error == "raise":
+                raise point.error
+
+        if self.workers == 1:
+            for index, settings in pending:
+                record(index, run_point(
+                    settings, self.sweep.base_cores,
+                    self.sweep.base_overrides, make_workload,
+                    self.require_verified))
+        else:
+            self._run_pool(pending, make_workload, record)
+
+        table = SweepTable(
+            axes=self.sweep.axes,
+            points=[outcomes[index] for index in range(len(points))],
+            workers=self.workers,
+            wall_seconds=time.perf_counter() - started)
+        return table
+
+    # -- the worker pool ---------------------------------------------------
+
+    def _spawn(self, index: int, settings: dict[str, Any],
+               make_workload: Callable):
+        """Start one single-point worker; returns (process, conn)."""
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, index, settings, self.sweep.base_cores,
+                  self.sweep.base_overrides, make_workload,
+                  self.require_verified),
+            daemon=True)
+        process.start()
+        child_conn.close()
+        return process, parent_conn
+
+    def _run_pool(self, pending: list[tuple[int, dict[str, Any]]],
+                  make_workload: Callable,
+                  record: Callable[[int, SweepPoint], None]) -> None:
+        queue = list(pending)
+        active: dict[Any, tuple[Any, int, dict[str, Any]]] = {}
+        try:
+            while queue or active:
+                while queue and len(active) < self.workers:
+                    index, settings = queue.pop(0)
+                    process, conn = self._spawn(index, settings,
+                                                make_workload)
+                    active[conn] = (process, index, settings)
+                ready = connection.wait(list(active), _WAIT_SECONDS)
+                for conn in ready:
+                    process, index, settings = active[conn]
+                    try:
+                        received_index, point = conn.recv()
+                    except EOFError:
+                        process.join()
+                        point = SweepPoint(
+                            settings, None, False,
+                            WorkerCrash(
+                                f"sweep worker for point {settings} died "
+                                f"without reporting a result "
+                                f"(exit code {process.exitcode})"))
+                        received_index = index
+                    else:
+                        process.join()
+                    conn.close()
+                    del active[conn]
+                    record(received_index, point)
+        finally:
+            # on_error="raise" (or any unexpected parent-side error):
+            # don't leave orphan simulations burning the host.
+            for conn, (process, _index, _settings) in active.items():
+                process.terminate()
+                process.join()
+                conn.close()

@@ -14,17 +14,39 @@ fields), a workload factory, and get back a tidy result table.
 >>> table = sweep.run(lambda: scalar_spmv(num_rows=32, num_cores=8))
 >>> len(table.points)
 4
+
+Campaign-scale execution lives in :mod:`repro.coyote.parallel`:
+``sweep.run(..., workers=4)`` fans the cartesian points out to a worker
+pool while keeping the resulting table bit-identical to a serial run.
 """
 
 from __future__ import annotations
 
+import inspect
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.coyote.config import SimulationConfig
+from repro.coyote.errors import SimulationError
 from repro.coyote.simulation import Simulation
 from repro.coyote.stats import SimulationResults
+from repro.utils.deprecation import warn_deprecated
+
+
+class SweepError(ValueError):
+    """A sweep-level usage error (empty table, resultless metric, ...).
+
+    Subclasses ``ValueError`` so long-standing ``except ValueError``
+    call sites keep working.
+    """
+
+
+def _canonical_value(value: Any):
+    """A JSON-friendly, process-independent view of one axis value."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return repr(value)
 
 
 @dataclass
@@ -32,8 +54,9 @@ class SweepPoint:
     """One configuration point and its outcome.
 
     A failed point (its simulation raised, or verification failed under
-    ``on_error="skip"``) has ``error`` set and — when the failure
-    happened before completion — ``results`` of ``None``.
+    ``on_error="skip"``) has ``error`` set; when the failure happened
+    before completion ``results`` is ``None``, while a point that ran to
+    the end but failed verification keeps its full ``results``.
     """
 
     settings: dict[str, Any]
@@ -45,10 +68,38 @@ class SweepPoint:
     def failed(self) -> bool:
         return self.error is not None
 
+    @property
+    def error_kind(self) -> str | None:
+        """The original exception type name (stable across processes).
+
+        A worker-side exception that could not be pickled crosses the
+        process boundary as a :class:`~repro.coyote.parallel.RemoteError`
+        stand-in carrying the original type name; this property reports
+        that original name so serial and parallel tables agree.
+        """
+        if self.error is None:
+            return None
+        kind = getattr(self.error, "kind", None)
+        return kind if isinstance(kind, str) else type(self.error).__name__
+
+    def failure_record(self) -> dict[str, str] | None:
+        """``{"kind", "message"}`` of the failure, or None when healthy."""
+        if self.error is None:
+            return None
+        return {"kind": self.error_kind, "message": str(self.error)}
+
     def metric(self, name: str) -> float:
-        """Fetch a named metric (attribute or zero-arg method)."""
+        """Fetch a named metric (attribute or zero-arg method).
+
+        Metrics are served whenever ``results`` exist — including
+        verified-but-flagged points, so a verification failure still
+        shows its cycle count in tables and ``best()`` comparisons.
+        Only a truly resultless point (the simulation never completed)
+        raises, and it raises a structured :class:`SweepError` naming
+        the point.
+        """
         if self.results is None:
-            raise ValueError(
+            raise SweepError(
                 f"sweep point {self.settings} failed before producing "
                 f"results: {self.error}")
         value = getattr(self.results, name)
@@ -57,10 +108,17 @@ class SweepPoint:
 
 @dataclass
 class SweepTable:
-    """The full outcome of a sweep."""
+    """The full outcome of a sweep.
+
+    ``workers`` and ``wall_seconds`` describe how the campaign was
+    executed (host-side facts — deliberately excluded from
+    :meth:`to_dict` so serial and parallel tables compare equal).
+    """
 
     axes: dict[str, list]
     points: list[SweepPoint] = field(default_factory=list)
+    workers: int = 1
+    wall_seconds: float = 0.0
 
     def failures(self) -> list[tuple[dict[str, Any], Exception]]:
         """The ``(settings, error)`` of every failed point."""
@@ -71,16 +129,16 @@ class SweepTable:
              minimise: bool = True) -> SweepPoint:
         """The best *successful* point under ``metric``."""
         if not self.points:
-            raise ValueError("empty sweep")
+            raise SweepError("empty sweep")
         candidates = [point for point in self.points if not point.failed]
         if not candidates:
-            raise ValueError(
+            raise SweepError(
                 f"all {len(self.points)} sweep points failed; "
                 f"see SweepTable.failures()")
         chooser = min if minimise else max
         return chooser(candidates, key=lambda point: point.metric(metric))
 
-    def format(self, metrics: tuple[str, ...] = ("cycles",)) -> str:
+    def to_text(self, metrics: tuple[str, ...] = ("cycles",)) -> str:
         """Render an aligned text table (failed points are marked)."""
         axis_names = list(self.axes)
         headers = axis_names + list(metrics)
@@ -88,7 +146,7 @@ class SweepTable:
         for point in self.points:
             row = [str(point.settings[name]) for name in axis_names]
             if point.failed and point.results is None:
-                row.append(f"FAILED({type(point.error).__name__})")
+                row.append(f"FAILED({point.error_kind})")
                 row.extend("-" for _ in metrics[1:])
                 rows.append(row)
                 continue
@@ -110,6 +168,112 @@ class SweepTable:
                                    for cell, width in zip(row, widths)))
         return "\n".join(lines)
 
+    def format(self, metrics: tuple[str, ...] = ("cycles",)) -> str:
+        """Deprecated spelling of :meth:`to_text`."""
+        warn_deprecated("SweepTable.format()", "SweepTable.to_text()")
+        return self.to_text(metrics)
+
+    def to_dict(self, metrics: tuple[str, ...] = ("cycles",)) -> dict:
+        """A canonical, JSON-serialisable view of the campaign.
+
+        Deterministic by construction: only simulated quantities appear
+        (host wall time, worker count and exception identities are
+        excluded), so a ``workers=1`` and a ``workers=N`` run of the
+        same sweep produce byte-identical documents — the differential
+        guarantee the parallel engine is tested against.
+        """
+        return {
+            "axes": {name: [_canonical_value(value) for value in values]
+                     for name, values in self.axes.items()},
+            "points": [
+                {
+                    "settings": {name: _canonical_value(value)
+                                 for name, value in point.settings.items()},
+                    "verified": point.verified,
+                    "failed": point.failed,
+                    "metrics": {name: (point.metric(name)
+                                       if point.results is not None
+                                       else None)
+                                for name in metrics},
+                    "error": point.failure_record(),
+                }
+                for point in self.points],
+        }
+
+    def aggregate(self, metrics: tuple[str, ...] = ("cycles",
+                                                    "instructions")) -> dict:
+        """Campaign-level rollup of per-point metrics and outcomes."""
+        completed = [point for point in self.points
+                     if point.results is not None]
+        summary: dict[str, Any] = {
+            "points": len(self.points),
+            "succeeded": sum(1 for point in self.points if not point.failed),
+            "failed": sum(1 for point in self.points if point.failed),
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "metrics": {},
+        }
+        for name in metrics:
+            values = [point.metric(name) for point in completed]
+            if not values:
+                summary["metrics"][name] = None
+                continue
+            summary["metrics"][name] = {
+                "min": min(values),
+                "max": max(values),
+                "mean": sum(values) / len(values),
+                "total": sum(values),
+            }
+        return summary
+
+
+def call_workload_factory(make_workload: Callable,
+                          settings: dict[str, Any]):
+    """Call a workload factory, passing the point's settings when the
+    factory accepts them.
+
+    A zero-argument factory (the classic API) is called as-is; a factory
+    whose signature binds one positional argument receives the full
+    settings dict, so workload shape can itself be swept (problem size
+    axes, kernel-variant axes) alongside configuration axes.
+    """
+    try:
+        signature = inspect.signature(make_workload)
+    except (TypeError, ValueError):
+        return make_workload()
+    try:
+        signature.bind(settings)
+    except TypeError:
+        return make_workload()
+    return make_workload(settings)
+
+
+def run_point(settings: dict[str, Any], base_cores: int,
+              base_overrides: dict[str, Any], make_workload: Callable,
+              require_verified: bool = True) -> SweepPoint:
+    """Execute one sweep point, never raising.
+
+    This is the single execution path shared by the serial loop and
+    every parallel worker — both build the point's full configuration
+    (including seeded fault and telemetry setup) from the same
+    ``base + settings`` recipe, which is what makes a parallel table
+    bit-identical to a serial one.
+    """
+    try:
+        config = SimulationConfig.for_cores(
+            base_cores, **{**base_overrides, **settings})
+        workload = call_workload_factory(make_workload, settings)
+        simulation = Simulation(config, workload.program)
+        results = simulation.run()
+        verified = workload.verify(simulation.memory)
+    except Exception as exc:
+        return SweepPoint(settings, None, False, exc)
+    if require_verified and not (verified and results.succeeded()):
+        error = SimulationError(
+            f"sweep point {settings} failed verification")
+        return SweepPoint(settings, results, verified, error)
+    return SweepPoint(settings, results, verified)
+
 
 class Sweep:
     """A cartesian design-space sweep over configuration axes.
@@ -124,51 +288,44 @@ class Sweep:
     def __init__(self, base_cores: int, axes: dict[str, list],
                  **base_overrides):
         if not axes:
-            raise ValueError("a sweep needs at least one axis")
+            raise SweepError("a sweep needs at least one axis")
         self.base_cores = base_cores
         self.axes = dict(axes)
         self.base_overrides = base_overrides
 
+    def points(self) -> list[dict[str, Any]]:
+        """Every settings dict of the sweep, in cartesian axis order."""
+        names = list(self.axes)
+        return [dict(zip(names, values))
+                for values in itertools.product(*self.axes.values())]
+
     def run(self, make_workload: Callable, *,
             require_verified: bool = True,
-            on_error: str = "raise") -> SweepTable:
+            on_error: str = "raise",
+            workers: int = 1,
+            progress: bool = False,
+            campaign_path=None) -> SweepTable:
         """Run every point; ``make_workload`` is called per point.
 
         ``on_error`` controls failure isolation: ``"raise"`` (the
         default) aborts the whole sweep at the first failing point;
         ``"skip"`` records the failure on that point and carries on —
         one deadlocking configuration no longer destroys an overnight
-        campaign.  Failed points are marked in :meth:`SweepTable.format`
+        campaign.  Failed points are marked in :meth:`SweepTable.to_text`
         and listed by :meth:`SweepTable.failures`.
+
+        ``workers`` selects the execution engine: ``1`` runs in-process;
+        ``N > 1`` fans points out to ``N`` worker processes
+        (:class:`~repro.coyote.parallel.ParallelSweep`) with per-point
+        crash isolation, while the returned table stays bit-identical
+        (deterministic axis order, same metrics, same failure records).
+        ``progress`` streams ``k/n points, ETA`` through the
+        ``repro.telemetry`` logger; ``campaign_path`` persists completed
+        points so an interrupted campaign warm-starts instead of
+        recomputing.
         """
-        if on_error not in ("raise", "skip"):
-            raise ValueError(
-                f"on_error must be 'raise' or 'skip', got {on_error!r}")
-        table = SweepTable(axes=self.axes)
-        names = list(self.axes)
-        for values in itertools.product(*self.axes.values()):
-            settings = dict(zip(names, values))
-            try:
-                config = SimulationConfig.for_cores(
-                    self.base_cores, **{**self.base_overrides, **settings})
-                workload = make_workload()
-                simulation = Simulation(config, workload.program)
-                results = simulation.run()
-                verified = workload.verify(simulation.memory)
-            except Exception as exc:
-                if on_error == "raise":
-                    raise
-                table.points.append(
-                    SweepPoint(settings, None, False, exc))
-                continue
-            if require_verified and not (verified
-                                         and results.succeeded()):
-                error = RuntimeError(
-                    f"sweep point {settings} failed verification")
-                if on_error == "raise":
-                    raise error
-                table.points.append(
-                    SweepPoint(settings, results, verified, error))
-                continue
-            table.points.append(SweepPoint(settings, results, verified))
-        return table
+        from repro.coyote.parallel import ParallelSweep
+        return ParallelSweep(
+            self, workers=workers, on_error=on_error,
+            require_verified=require_verified, progress=progress,
+            campaign_path=campaign_path).run(make_workload)

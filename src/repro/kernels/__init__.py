@@ -43,9 +43,36 @@ KERNELS = {
     "histogram": histogram,
 }
 
+def instantiate(kernel: str, num_cores: int, size: int | None = None):
+    """Build a named kernel workload with a sensible size argument.
+
+    The single place that knows each kernel family's size-keyword
+    convention (``size`` / ``num_rows`` / layer dimensions / ``length``);
+    the CLI and the :mod:`repro.api` facade both route through it.
+    ``size=None`` uses the kernel's own default problem size.
+    """
+    try:
+        factory = KERNELS[kernel]
+    except KeyError:
+        raise ValueError(f"unknown kernel {kernel!r} "
+                         f"(expected one of {sorted(KERNELS)})") from None
+    if size is None:
+        return factory(num_cores=num_cores)
+    if "matmul" in kernel:
+        return factory(size=size, num_cores=num_cores)
+    if "spmv" in kernel:
+        return factory(num_rows=size, num_cores=num_cores)
+    if kernel == "nn-dense-relu":
+        return factory(in_dim=size, out_dim=size, num_cores=num_cores)
+    if kernel == "mlp-inference":
+        return factory(dims=(size, size, size), num_cores=num_cores)
+    return factory(length=size, num_cores=num_cores)
+
+
 __all__ = [
     "KERNELS",
     "SPMV_VARIANTS",
+    "instantiate",
     "CsrMatrix",
     "Workload",
     "banded_csr",

@@ -16,34 +16,56 @@ deterministic tools (docs/RESILIENCE.md):
   :class:`~repro.resilience.watchdog.DeadlockError` carrying a full
   diagnostic snapshot.
 * :mod:`repro.resilience.checkpoint` — serialize complete simulation
-  state to disk and resume bit-identically.
+  state to disk and resume bit-identically; also the campaign-level
+  checkpoints the parallel sweep engine warm-starts from.
 * :mod:`repro.resilience.invariants` — periodic conservation and
   consistency checks over the live simulation state.
+
+The canonical import surface is :mod:`repro.api`; the blessed names
+below are re-exported from there (lazily, to stay cycle-free).
 """
 
-from repro.resilience.checkpoint import (
-    CheckpointError,
-    load_checkpoint,
-    restore_simulation,
-    save_checkpoint,
-)
-from repro.resilience.config import FaultSpec, ResilienceConfig
-from repro.resilience.faults import FaultInjector, load_fault_plan
-from repro.resilience.invariants import InvariantChecker, InvariantViolation
-from repro.resilience.watchdog import DeadlockError, Watchdog, build_snapshot
+import importlib
 
-__all__ = [
+# Names served from the repro.api facade (the canonical path).
+_API_NAMES = frozenset({
     "CheckpointError",
     "DeadlockError",
-    "FaultInjector",
+    "FaultPlan",
     "FaultSpec",
-    "InvariantChecker",
-    "InvariantViolation",
     "ResilienceConfig",
-    "Watchdog",
-    "build_snapshot",
     "load_checkpoint",
-    "load_fault_plan",
     "restore_simulation",
     "save_checkpoint",
-]
+})
+
+# Internal-but-stable names that stay below the facade.
+_LOCAL_NAMES = {
+    "FaultInjector": "repro.resilience.faults",
+    "InvariantChecker": "repro.resilience.invariants",
+    "InvariantViolation": "repro.resilience.invariants",
+    "Watchdog": "repro.resilience.watchdog",
+    "build_snapshot": "repro.resilience.watchdog",
+    "load_campaign": "repro.resilience.checkpoint",
+    "load_fault_plan": "repro.resilience.faults",
+    "save_campaign": "repro.resilience.checkpoint",
+}
+
+__all__ = sorted(_API_NAMES | set(_LOCAL_NAMES))
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        api = importlib.import_module("repro.api")
+        value = getattr(api, name)
+    elif name in _LOCAL_NAMES:
+        value = getattr(importlib.import_module(_LOCAL_NAMES[name]), name)
+    else:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value  # cache: subsequent lookups skip this hook
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -17,6 +17,7 @@ the errors module: ``repro.coyote.config`` imports this package for
 
 from __future__ import annotations
 
+import os
 import pickle
 from pathlib import Path
 
@@ -99,3 +100,71 @@ def restore_simulation(path: str | Path):
     """Convenience wrapper returning just the simulation object."""
     simulation, _metadata = load_checkpoint(path)
     return simulation
+
+
+# -- campaign checkpoints ----------------------------------------------------
+#
+# A design-space sweep is a campaign of independent simulations; its
+# checkpoint is simply the set of completed points.  The parallel sweep
+# engine appends each finished point here, so a preempted overnight
+# campaign warm-starts from what it already computed instead of
+# recomputing the survivors alongside the stragglers.
+
+CAMPAIGN_FORMAT = 1
+
+
+def save_campaign(path: str | Path, axes_key: str,
+                  completed: dict) -> Path:
+    """Atomically persist the completed points of a sweep campaign.
+
+    ``axes_key`` is a canonical description of the sweep's axes; loads
+    refuse a campaign file recorded for different axes.  The write goes
+    through a temporary file and ``os.replace`` so a crash mid-write
+    can never leave a truncated campaign behind.
+    """
+    path = Path(path)
+    payload = {
+        "format": CAMPAIGN_FORMAT,
+        "axes_key": axes_key,
+        "completed": completed,
+    }
+    scratch = path.with_name(path.name + ".tmp")
+    try:
+        with scratch.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    except (pickle.PicklingError, TypeError, AttributeError) as exc:
+        scratch.unlink(missing_ok=True)
+        raise CheckpointError(
+            f"campaign state is not serialisable: {exc}") from exc
+    os.replace(scratch, path)
+    return path
+
+
+def load_campaign(path: str | Path, axes_key: str) -> dict:
+    """Read the completed points of a campaign ({} when none exists).
+
+    Raises :class:`CheckpointError` for a corrupt file, a format-version
+    mismatch, or a campaign recorded for different axes — resuming the
+    wrong campaign silently would be worse than recomputing.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    try:
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, ImportError,
+            AttributeError) as exc:
+        raise CheckpointError(
+            f"{path} is not a readable campaign file: {exc}") from exc
+    if not isinstance(payload, dict) or "format" not in payload:
+        raise CheckpointError(f"{path} is not a campaign file")
+    if payload["format"] != CAMPAIGN_FORMAT:
+        raise CheckpointError(
+            f"{path}: campaign format {payload['format']} is not "
+            f"supported (expected {CAMPAIGN_FORMAT})")
+    if payload["axes_key"] != axes_key:
+        raise CheckpointError(
+            f"{path} was recorded for a different sweep "
+            f"(axes {payload['axes_key']}, expected {axes_key})")
+    return payload["completed"]

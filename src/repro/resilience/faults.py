@@ -26,12 +26,13 @@ from __future__ import annotations
 
 import json
 import random
-from dataclasses import replace
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
 from repro.memhier.request import MemRequest, RequestKind
 from repro.resilience.config import FaultSpec, ResilienceConfig
 from repro.sparta.unit import Unit
+from repro.utils.deprecation import warn_deprecated
 
 # Extra delay of the duplicate copy when a duplicate spec leaves
 # ``extra`` at zero (a zero-cycle duplicate would be indistinguishable
@@ -39,23 +40,73 @@ from repro.sparta.unit import Unit
 DEFAULT_DUPLICATE_DELAY = 1
 
 
-def load_fault_plan(path: str | Path) -> tuple[list[FaultSpec], int | None]:
-    """Read a fault plan JSON file.
+@dataclass
+class FaultPlan:
+    """A named, replayable fault-injection campaign: specs plus seed.
 
-    The document is ``{"seed": <int, optional>, "faults": [<FaultSpec
-    fields>, ...]}``; returns ``(specs, seed_or_None)``.
+    The blessed object form of the JSON plan files (``{"seed": <int,
+    optional>, "faults": [<FaultSpec fields>, ...]}``) the CLI's
+    ``--inject`` consumes.  ``apply`` folds the plan into a
+    :class:`~repro.resilience.config.ResilienceConfig`, preserving the
+    config's own seed when the plan does not pin one.
     """
-    document = json.loads(Path(path).read_text())
-    if not isinstance(document, dict) or "faults" not in document:
-        raise ValueError(f"{path}: fault plan must be an object with a "
-                         f"'faults' list")
-    specs = [FaultSpec(**entry) for entry in document["faults"]]
-    for spec in specs:
-        spec.validate()
-    seed = document.get("seed")
-    if seed is not None and (not isinstance(seed, int) or seed < 0):
-        raise ValueError(f"{path}: seed must be a non-negative integer")
-    return specs, seed
+
+    faults: list[FaultSpec] = field(default_factory=list)
+    seed: int | None = None
+
+    def validate(self) -> None:
+        for spec in self.faults:
+            spec.validate()
+        if self.seed is not None and (not isinstance(self.seed, int)
+                                      or self.seed < 0):
+            raise ValueError(
+                f"fault plan seed must be a non-negative integer, "
+                f"got {self.seed!r}")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FaultPlan":
+        """Read a fault plan JSON file."""
+        document = json.loads(Path(path).read_text())
+        if not isinstance(document, dict) or "faults" not in document:
+            raise ValueError(f"{path}: fault plan must be an object with "
+                             f"a 'faults' list")
+        plan = cls(faults=[FaultSpec(**entry)
+                           for entry in document["faults"]],
+                   seed=document.get("seed"))
+        try:
+            plan.validate()
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
+        return plan
+
+    def to_dict(self) -> dict:
+        """The JSON-document form (round-trips through :meth:`load`)."""
+        document: dict = {"faults": [asdict(spec) for spec in self.faults]}
+        if self.seed is not None:
+            document["seed"] = self.seed
+        return document
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+        return path
+
+    def apply(self, resilience: ResilienceConfig) -> ResilienceConfig:
+        """Install the plan's faults (and seed, when set) in-place."""
+        resilience.faults = list(self.faults)
+        if self.seed is not None:
+            resilience.fault_seed = self.seed
+        return resilience
+
+
+def load_fault_plan(path: str | Path) -> tuple[list[FaultSpec], int | None]:
+    """Deprecated spelling of :meth:`FaultPlan.load`.
+
+    Returns the historical ``(specs, seed_or_None)`` tuple.
+    """
+    warn_deprecated("load_fault_plan()", "FaultPlan.load()")
+    plan = FaultPlan.load(path)
+    return plan.faults, plan.seed
 
 
 def _duplicable(payload) -> bool:

@@ -1,0 +1,72 @@
+"""Campaign-level progress telemetry.
+
+A sweep is a campaign of independent simulations; its progress signal
+(``k/n points, ETA``) belongs to the same telemetry surface as the
+per-run heartbeat, so :class:`CampaignProgress` streams through the
+``repro.telemetry`` logger namespace — anything already consuming the
+run heartbeat (``--progress``) sees campaign progress for free.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Any, Callable
+
+logger = logging.getLogger("repro.telemetry.campaign")
+
+
+class CampaignProgress:
+    """Streams ``k/n points, ETA`` as points of a campaign complete.
+
+    ``clock`` is injectable so tests can drive deterministic timelines.
+    The ETA is the classic remaining-work estimate: mean seconds per
+    completed point times points outstanding — deliberately simple, it
+    is a heartbeat, not a scheduler.
+    """
+
+    def __init__(self, total: int, label: str = "sweep",
+                 clock: Callable[[], float] = time.monotonic,
+                 sink: Callable[[str], None] | None = None):
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.total = total
+        self.label = label
+        self.completed = 0
+        self.failed = 0
+        self._clock = clock
+        self._sink = sink or logger.info
+        self._start = clock()
+
+    @property
+    def elapsed(self) -> float:
+        return self._clock() - self._start
+
+    def eta_seconds(self) -> float | None:
+        """Estimated seconds to completion (None before the first point)."""
+        if not self.completed:
+            return None
+        remaining = self.total - self.completed
+        return self.elapsed / self.completed * remaining
+
+    def point_completed(self, settings: dict[str, Any] | None = None,
+                        failed: bool = False) -> str:
+        """Record one finished point and emit the progress line."""
+        self.completed += 1
+        if failed:
+            self.failed += 1
+        eta = self.eta_seconds()
+        percent = (100.0 * self.completed / self.total if self.total
+                   else 100.0)
+        parts = [f"{self.label}: {self.completed}/{self.total} points "
+                 f"({percent:.0f}%)",
+                 f"elapsed {self.elapsed:.1f}s"]
+        if eta is not None and self.completed < self.total:
+            parts.append(f"eta {eta:.1f}s")
+        if self.failed:
+            parts.append(f"{self.failed} failed")
+        if failed and settings is not None:
+            parts.append(f"last failure {settings}")
+        line = ", ".join(parts)
+        self._sink(line)
+        return line

@@ -1,0 +1,118 @@
+"""API-surface lint: every public name flows through ``repro.api``.
+
+The facade contract (docs/API.md) says there is exactly one canonical
+import path: a name is either exported by :mod:`repro.api`, declared
+internal-but-stable by its package (``_LOCAL_NAMES``), or a deprecation
+shim that forwards to a canonical name.  This tool fails (exit 1) the
+moment a package gains a public name outside that contract, so API
+drift is caught in CI instead of in a release note.
+
+Checks, in order:
+
+1. ``repro.api`` imports cleanly and every ``__all__`` name resolves.
+2. For each facaded package (``repro.coyote``, ``repro.resilience``):
+   every ``__all__`` name is covered by the facade or by the package's
+   own internal declaration — and nothing is declared in both.
+3. Re-exports are *identities*: ``repro.coyote.Simulation is
+   repro.api.Simulation`` (two objects under one name would mean two
+   canonical paths).
+4. The registered deprecation shims still exist and still emit
+   ``DeprecationWarning``.
+
+Run it as ``python -m repro.tools.check_api``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import warnings
+
+FACADE = "repro.api"
+FACADED_PACKAGES = ("repro.coyote", "repro.resilience")
+
+# Deprecated spellings that must keep working (and warning) until their
+# removal window closes: (module, attribute-path).
+DEPRECATED_SHIMS = (
+    ("repro.coyote.sweep", "SweepTable.format"),
+    ("repro.resilience.faults", "load_fault_plan"),
+)
+
+
+def _fail(errors: list[str]) -> int:
+    for error in errors:
+        print(f"check_api: {error}", file=sys.stderr)
+    print(f"check_api: FAILED ({len(errors)} problem(s))",
+          file=sys.stderr)
+    return 1
+
+
+def check() -> int:
+    errors: list[str] = []
+
+    api = importlib.import_module(FACADE)
+    exported = set(getattr(api, "__all__", ()))
+    if not exported:
+        return _fail([f"{FACADE} declares no __all__"])
+    for name in sorted(exported):
+        if not hasattr(api, name):
+            errors.append(f"{FACADE}.__all__ lists {name!r} but the "
+                          f"module does not define it")
+
+    for package_name in FACADED_PACKAGES:
+        package = importlib.import_module(package_name)
+        declared = set(getattr(package, "__all__", ()))
+        via_api = set(getattr(package, "_API_NAMES", ()))
+        local = set(getattr(package, "_LOCAL_NAMES", ()))
+        if not via_api:
+            errors.append(f"{package_name} declares no _API_NAMES "
+                          f"facade routing")
+            continue
+        for name in sorted(via_api & local):
+            errors.append(f"{package_name}: {name!r} is declared both "
+                          f"facade-routed and internal")
+        for name in sorted(via_api - exported):
+            errors.append(f"{package_name} routes {name!r} through the "
+                          f"facade, but {FACADE} does not export it")
+        for name in sorted(declared - via_api - local):
+            errors.append(f"{package_name} exports public name {name!r} "
+                          f"that is neither routed through {FACADE} nor "
+                          f"declared internal (_LOCAL_NAMES)")
+        for name in sorted(via_api & exported):
+            if getattr(package, name) is not getattr(api, name):
+                errors.append(f"{package_name}.{name} is not the same "
+                              f"object as {FACADE}.{name}")
+
+    for module_name, attribute_path in DEPRECATED_SHIMS:
+        module = importlib.import_module(module_name)
+        target = module
+        try:
+            for part in attribute_path.split("."):
+                target = getattr(target, part)
+        except AttributeError:
+            errors.append(f"deprecation shim {module_name}."
+                          f"{attribute_path} has disappeared")
+            continue
+        if "deprecated" not in (target.__doc__ or "").lower():
+            errors.append(f"deprecation shim {module_name}."
+                          f"{attribute_path} no longer documents its "
+                          f"deprecation")
+
+    if errors:
+        return _fail(errors)
+    print(f"check_api: OK — {len(exported)} facade exports, "
+          f"{len(FACADED_PACKAGES)} packages routed, "
+          f"{len(DEPRECATED_SHIMS)} shims intact")
+    return 0
+
+
+def main() -> int:
+    # Shims under test may warn during import-time probing; that is
+    # exactly what we are checking for, not something to print.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        return check()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""One tiny, shared deprecation shim helper.
+
+Every renamed public entry point forwards through :func:`warn_deprecated`
+so the message format is uniform and tests can assert on it.  The
+warning names both spellings and fires on every call (callers that want
+once-per-process behaviour get it from Python's default
+``DeprecationWarning`` dedup by call site).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+
+def warn_deprecated(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard rename warning: ``old`` is now spelled ``new``."""
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning, stacklevel=stacklevel)

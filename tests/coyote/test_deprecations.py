@@ -1,0 +1,95 @@
+"""Every deprecation shim warns exactly once per call and forwards.
+
+The migration contract (docs/API.md) promises that pre-redesign
+spellings keep working, at the cost of a single ``DeprecationWarning``
+per call, and that the shim returns exactly what the canonical path
+returns.  This file is the canonical home of that coverage; everything
+else in the test suite uses the new spellings.
+"""
+
+import json
+import warnings
+
+import pytest
+
+from repro.coyote.cli import build_parser
+from repro.coyote.sweep import Sweep
+from repro.kernels import vector_axpy
+from repro.resilience.faults import FaultPlan, load_fault_plan
+
+PLAN_DOC = {
+    "seed": 7,
+    "faults": [
+        {"target": "l2bank", "kind": "delay", "start": 100, "end": 200,
+         "probability": 0.25, "extra": 3},
+    ],
+}
+
+
+def make_axpy():
+    return vector_axpy(length=32, num_cores=2)
+
+
+def run_tiny_sweep():
+    return Sweep(base_cores=2, axes={"noc_latency": [2]}).run(make_axpy)
+
+
+class TestSweepTableFormat:
+    def test_warns_exactly_once_and_forwards(self):
+        table = run_tiny_sweep()
+        with pytest.warns(DeprecationWarning,
+                          match=r"SweepTable\.format\(\) is deprecated; "
+                                r"use SweepTable\.to_text\(\)") as record:
+            legacy = table.format(("cycles",))
+        assert len(record) == 1
+        assert legacy == table.to_text(("cycles",))
+
+    def test_to_text_does_not_warn(self):
+        table = run_tiny_sweep()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            table.to_text(("cycles",))
+
+
+class TestLoadFaultPlan:
+    def test_warns_exactly_once_and_forwards(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(PLAN_DOC))
+        with pytest.warns(DeprecationWarning,
+                          match=r"load_fault_plan\(\) is deprecated; "
+                                r"use FaultPlan\.load\(\)") as record:
+            faults, seed = load_fault_plan(path)
+        assert len(record) == 1
+        plan = FaultPlan.load(path)
+        assert faults == plan.faults
+        assert seed == plan.seed == 7
+
+    def test_fault_plan_load_does_not_warn(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(PLAN_DOC))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            FaultPlan.load(path)
+
+
+class TestCheckpointAtAlias:
+    def test_warns_exactly_once_and_sets_pause_at(self):
+        parser = build_parser()
+        with pytest.warns(DeprecationWarning,
+                          match=r"--checkpoint-at is deprecated; "
+                                r"use --pause-at") as record:
+            args = parser.parse_args(
+                ["--kernel", "scalar-matmul", "--checkpoint-at", "1300"])
+        assert len(record) == 1
+        assert args.pause_at == 1300
+
+    def test_canonical_flag_matches_and_stays_silent(self):
+        parser = build_parser()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            args = parser.parse_args(
+                ["--kernel", "scalar-matmul", "--pause-at", "1300"])
+        assert args.pause_at == 1300
+
+    def test_alias_is_hidden_from_help(self):
+        assert "--checkpoint-at" not in build_parser().format_help()

@@ -42,10 +42,10 @@ class TestSweep:
         table = sweep.run(make_workload)
         assert 0.0 <= table.points[0].metric("l1d_miss_rate") <= 1.0
 
-    def test_format_table(self):
+    def test_text_table(self):
         sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 6]})
         table = sweep.run(make_workload)
-        text = table.format(metrics=("cycles", "l1d_miss_rate"))
+        text = table.to_text(metrics=("cycles", "l1d_miss_rate"))
         assert "noc_latency" in text and "cycles" in text
         assert len(text.splitlines()) == 4  # header + rule + 2 rows
 
@@ -67,3 +67,29 @@ class TestSweep:
         from repro.coyote.sweep import SweepTable
         with pytest.raises(ValueError):
             SweepTable(axes={}).best()
+
+
+class TestMetricSemantics:
+    """A metric exists whenever results exist — even on flagged points."""
+
+    def test_verification_failure_keeps_metrics(self):
+        from repro.coyote.errors import SimulationError
+        from repro.coyote.sweep import SweepPoint
+        healthy = Sweep(base_cores=2, axes={"noc_latency": [6]}) \
+            .run(make_workload).points[0]
+        flagged = SweepPoint(settings=dict(healthy.settings),
+                             results=healthy.results, verified=False,
+                             error=SimulationError("verification failed"))
+        assert flagged.failed
+        assert flagged.metric("cycles") == healthy.metric("cycles")
+
+    def test_resultless_point_raises_sweep_error(self):
+        from repro.coyote.sweep import SweepError, SweepPoint
+        point = SweepPoint(settings={"noc_latency": 6}, results=None,
+                           verified=False, error=RuntimeError("boom"))
+        with pytest.raises(SweepError, match="failed before producing"):
+            point.metric("cycles")
+
+    def test_sweep_error_is_a_value_error(self):
+        from repro.coyote.sweep import SweepError
+        assert issubclass(SweepError, ValueError)

@@ -83,7 +83,7 @@ class TestSweepFailureIsolation:
     def test_format_marks_failed_points(self):
         table = self._sweep().run(
             lambda: scalar_matmul(size=6, num_cores=2), on_error="skip")
-        rendered = table.format(metrics=("cycles", "instructions"))
+        rendered = table.to_text(metrics=("cycles", "instructions"))
         assert "FAILED(SimulationError)" in rendered
 
     def test_failed_point_metric_raises(self):
@@ -208,7 +208,7 @@ class TestCliExitCodes:
 
     def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
         ckpt = tmp_path / "sim.ckpt"
-        code = cli.main(self.ARGS + ["--checkpoint-at", "500",
+        code = cli.main(self.ARGS + ["--pause-at", "500",
                                      "--checkpoint-out", str(ckpt)])
         assert code == cli.EXIT_OK
         assert "checkpoint written" in capsys.readouterr().out
@@ -219,7 +219,7 @@ class TestCliExitCodes:
 
     def test_checkpoint_flags_must_pair(self, capsys):
         with pytest.raises(SystemExit) as exc_info:
-            cli.main(self.ARGS + ["--checkpoint-at", "500"])
+            cli.main(self.ARGS + ["--pause-at", "500"])
         assert exc_info.value.code == cli.EXIT_CONFIG
         capsys.readouterr()
 

@@ -7,7 +7,7 @@ import pytest
 
 from repro.coyote import Simulation, SimulationConfig
 from repro.coyote.cli import make_workload
-from repro.resilience import FaultSpec, ResilienceConfig, load_fault_plan
+from repro.resilience import FaultPlan, FaultSpec, ResilienceConfig
 
 _HOST_FIELDS = ("wall_seconds", "host_mips", "host_profile")
 
@@ -98,35 +98,53 @@ class TestFunctionalCorrectness:
 
 class TestFaultPlanLoading:
     def test_round_trip(self, tmp_path):
-        plan = {"seed": 7, "faults": [
+        document = {"seed": 7, "faults": [
             {"target": "l2bank", "kind": "delay", "extra": 3},
             {"target": "memctrl", "index": 1, "kind": "blackout",
              "start": 10, "end": 20},
         ]}
         path = tmp_path / "plan.json"
-        path.write_text(json.dumps(plan))
-        specs, seed = load_fault_plan(path)
-        assert seed == 7
-        assert [spec.target for spec in specs] == ["l2bank", "memctrl"]
-        assert specs[1].index == 1
+        path.write_text(json.dumps(document))
+        plan = FaultPlan.load(path)
+        assert plan.seed == 7
+        assert [spec.target for spec in plan.faults] \
+            == ["l2bank", "memctrl"]
+        assert plan.faults[1].index == 1
+        saved = FaultPlan.load(plan.save(tmp_path / "copy.json"))
+        assert saved == plan
 
     def test_plan_without_seed(self, tmp_path):
         path = tmp_path / "plan.json"
         path.write_text('{"faults": []}')
-        specs, seed = load_fault_plan(path)
-        assert specs == [] and seed is None
+        plan = FaultPlan.load(path)
+        assert plan.faults == [] and plan.seed is None
 
     def test_rejects_non_object(self, tmp_path):
         path = tmp_path / "plan.json"
         path.write_text("[1, 2]")
         with pytest.raises(ValueError, match="faults"):
-            load_fault_plan(path)
+            FaultPlan.load(path)
 
     def test_rejects_bad_seed(self, tmp_path):
         path = tmp_path / "plan.json"
         path.write_text('{"seed": -1, "faults": []}')
         with pytest.raises(ValueError, match="seed"):
-            load_fault_plan(path)
+            FaultPlan.load(path)
+
+    def test_apply_installs_faults_and_seed(self):
+        plan = FaultPlan(faults=[FaultSpec(target="l2bank",
+                                           kind="delay", extra=3)],
+                         seed=11)
+        resilience = ResilienceConfig(fault_seed=99)
+        plan.apply(resilience)
+        assert resilience.faults == plan.faults
+        assert resilience.fault_seed == 11
+
+    def test_apply_preserves_config_seed_when_unpinned(self):
+        plan = FaultPlan(faults=[])
+        resilience = ResilienceConfig(fault_seed=99)
+        plan.apply(resilience)
+        assert resilience.fault_seed == 99
 
 
 class TestSpecValidation:
