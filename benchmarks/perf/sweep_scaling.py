@@ -18,6 +18,15 @@ Speedup scales with the host's *available* cores: the recorded entry
 includes ``host_cpus`` so a single-core CI container's flat curve is
 not mistaken for an engine regression.  On an unloaded 4-core host the
 expected ``workers=4`` speedup for the default campaign is >= 2x.
+
+The harness also times the largest worker count once more under a
+:class:`~repro.api.SupervisorPolicy` (0.2 s heartbeats, generous
+timeouts, no retries needed) and records the supervisor's wall-clock
+overhead as the ``supervisor`` entry.  Read that number against
+``host_cpus`` too: on an oversubscribed or single-core host the
+heartbeat threads and the parent's deadline sweeps compete with the
+simulation for the same core, so the measured overhead is an *upper*
+bound on what a proper multi-core host would see.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ from pathlib import Path
 
 from repro.coyote.sweep import Sweep
 from repro.kernels import scalar_matmul
+from repro.resilience.supervisor import SupervisorPolicy
 
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 TRAJECTORY_PATH = REPO_ROOT / "BENCH_sweep.json"
@@ -54,9 +64,12 @@ def build_sweep(cores: int) -> Sweep:
     return Sweep(base_cores=cores, axes=AXES)
 
 
-def time_campaign(sweep: Sweep, factory, workers: int) -> tuple[float, dict]:
+def time_campaign(sweep: Sweep, factory, workers: int,
+                  policy: SupervisorPolicy | None = None
+                  ) -> tuple[float, dict]:
     started = time.perf_counter()
-    table = sweep.run(factory, workers=workers, on_error="skip")
+    table = sweep.run(factory, workers=workers, on_error="skip",
+                      policy=policy)
     elapsed = time.perf_counter() - started
     return elapsed, table.to_dict(DIFFERENTIAL_METRICS)
 
@@ -111,6 +124,24 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  workers={workers:<3d} {elapsed:8.2f}s  "
               f"speedup {speedup:5.2f}x")
 
+    # Supervisor overhead: the same campaign at the widest pool, with
+    # heartbeats on.  The differential must hold here too — supervision
+    # is a lifecycle wrapper, never a results change.
+    widest = max(counts)
+    supervised_policy = SupervisorPolicy(point_timeout_seconds=3600.0,
+                                         heartbeat_interval_seconds=0.2)
+    supervised_seconds, supervised_table = time_campaign(
+        sweep, factory, widest, policy=supervised_policy)
+    if supervised_table != reference_table:
+        print("FAIL: supervised table diverged from the serial "
+              "reference", file=sys.stderr)
+        return 1
+    baseline_seconds = results[str(widest)]["wall_seconds"]
+    overhead = ((supervised_seconds - baseline_seconds) / baseline_seconds
+                if baseline_seconds else 0.0)
+    print(f"  supervised (workers={widest}, 0.2s heartbeats) "
+          f"{supervised_seconds:8.2f}s  overhead {overhead:+7.1%}")
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "points": points,
@@ -119,6 +150,12 @@ def main(argv: list[str] | None = None) -> int:
         "kernel": f"scalar-matmul size={size} cores={cores}",
         "host_cpus": host_cpus(),
         "workers": results,
+        "supervisor": {
+            "workers": widest,
+            "heartbeat_interval_seconds": 0.2,
+            "wall_seconds": round(supervised_seconds, 6),
+            "overhead_vs_unsupervised": round(overhead, 4),
+        },
         "differential_identical": True,
     }
     if not args.no_trajectory:

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Chaos smoke: a sweep with poison points, run under supervision.
+
+Long campaigns die of boring causes — one wedged point, one crash —
+unless the runtime treats failure as a first-class outcome.  This
+example builds a deliberately hostile sweep (one point loops forever,
+one kills its worker) and runs it under a
+:class:`~repro.api.SupervisorPolicy`: heartbeats every 50 ms, a 2 s
+wall-clock budget per attempt, one retry with seeded backoff.  The
+poison points end up *quarantined* — structured failure records with
+their full attempt history — while the healthy points complete
+normally, and the campaign exits cleanly.  CI runs this as the
+``chaos-smoke`` job.
+"""
+
+import os
+import time
+
+from repro.api import QuarantinedPoint, RetryPolicy, Sweep, SupervisorPolicy
+from repro.kernels import vector_axpy
+
+WEDGE, CRASH = 31, 35  # poison noc_latency values (any int is legal)
+
+
+def chaos_factory(settings):
+    mode = settings.get("noc_latency")
+    if mode == WEDGE:
+        while True:
+            time.sleep(0.05)
+    if mode == CRASH:
+        os._exit(9)
+    return vector_axpy(length=32, num_cores=2)
+
+
+def main() -> None:
+    sweep = Sweep(base_cores=2,
+                  axes={"noc_latency": [2, WEDGE, CRASH, 6]})
+    policy = SupervisorPolicy(
+        point_timeout_seconds=2.0,
+        heartbeat_interval_seconds=0.05,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.05, max_delay=0.1),
+        term_grace_seconds=0.5,
+        seed=11)
+    table = sweep.run(chaos_factory, workers=2, on_error="skip",
+                      policy=policy)
+
+    quarantined = table.quarantined()
+    assert len(quarantined) == 2, [p.error_kind for p in table.points]
+    for point in quarantined:
+        assert isinstance(point.error, QuarantinedPoint)
+        print(f"quarantined {point.settings}: "
+              f"{[(r.attempt, r.outcome) for r in point.error.attempts]}")
+    healthy = [point for point in table.points if not point.failed]
+    assert len(healthy) == 2
+    for point in healthy:
+        print(f"completed   {point.settings}: "
+              f"{point.results.cycles} cycles")
+    aggregate = table.aggregate()
+    print(f"campaign: {aggregate['succeeded']} ok, "
+          f"{aggregate['quarantined']} quarantined, "
+          f"{table.workers} worker(s) — terminated cleanly")
+
+
+if __name__ == "__main__":
+    main()

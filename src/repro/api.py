@@ -48,6 +48,13 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.config import FaultSpec, ResilienceConfig
 from repro.resilience.faults import FaultPlan
+from repro.resilience.supervisor import (
+    AttemptRecord,
+    DegradationEvent,
+    QuarantinedPoint,
+    RetryPolicy,
+    SupervisorPolicy,
+)
 from repro.resilience.watchdog import DeadlockError
 from repro.telemetry.config import TelemetryConfig
 
@@ -71,6 +78,12 @@ __all__ = [
     "SweepError",
     "WorkerCrash",
     "RemoteError",
+    # supervised campaign runtime
+    "SupervisorPolicy",
+    "RetryPolicy",
+    "QuarantinedPoint",
+    "AttemptRecord",
+    "DegradationEvent",
     # configuration of the optional subsystems
     "TelemetryConfig",
     "ResilienceConfig",
@@ -150,6 +163,7 @@ def sweep(kernel, cores: int = 8, *, axes: dict[str, list],
           size: int | None = None, workers: int = 1,
           on_error: str = "raise", require_verified: bool = True,
           progress: bool = False, campaign_path=None,
+          policy: SupervisorPolicy | None = None,
           **base_overrides) -> SweepTable:
     """Sweep configuration axes for one kernel; returns the table.
 
@@ -158,6 +172,13 @@ def sweep(kernel, cores: int = 8, *, axes: dict[str, list],
     bit-identical results — and every extra keyword is applied to each
     point's base configuration.  ``kernel`` accepts the same spellings
     as :func:`run`, plus a factory taking the point's settings dict.
+
+    ``policy`` (a :class:`SupervisorPolicy`) opts the campaign into the
+    supervised lifecycle: worker heartbeats, a per-point wall-clock
+    timeout, an RSS ceiling, bounded retries with seeded backoff, and
+    quarantine (:class:`QuarantinedPoint`) of points that exhaust them;
+    repeated pool-level failures degrade the worker count gracefully
+    (``table.degradations``) instead of aborting the campaign.
     """
     if isinstance(kernel, str):
         name = kernel
@@ -169,7 +190,7 @@ def sweep(kernel, cores: int = 8, *, axes: dict[str, list],
     return Sweep(base_cores=cores, axes=axes, **base_overrides).run(
         make_workload, require_verified=require_verified,
         on_error=on_error, workers=workers, progress=progress,
-        campaign_path=campaign_path)
+        campaign_path=campaign_path, policy=policy)
 
 
 def replay(checkpoint: str | Path, *,

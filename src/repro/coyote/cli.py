@@ -226,7 +226,49 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument("--best", metavar="METRIC", default=None,
                         help="also print the best point under this "
                              "metric (minimised)")
+    supervisor = parser.add_argument_group(
+        "supervision",
+        "any of these flags runs every point under the supervised "
+        "lifecycle (heartbeats, reaping, retries, quarantine — see "
+        "docs/RESILIENCE.md)")
+    supervisor.add_argument("--point-timeout", type=float, default=None,
+                            metavar="SECONDS",
+                            help="wall-clock budget per point attempt; "
+                                 "an overrunning worker is reaped "
+                                 "(SIGTERM, then SIGKILL)")
+    supervisor.add_argument("--heartbeat-interval", type=float,
+                            default=None, metavar="SECONDS",
+                            help="worker heartbeat cadence; a worker "
+                                 "silent for 5 intervals is reaped")
+    supervisor.add_argument("--max-retries", type=int, default=0,
+                            metavar="N",
+                            help="re-dispatch a crashed/reaped point up "
+                                 "to N times (exponential backoff with "
+                                 "seeded jitter) before quarantining it")
+    supervisor.add_argument("--max-rss-mb", type=float, default=None,
+                            metavar="MB",
+                            help="per-worker RSS ceiling; a worker "
+                                 "reporting more is reaped")
+    supervisor.add_argument("--chrome-trace", metavar="JSON",
+                            default=None,
+                            help="write the supervisor's per-attempt "
+                                 "spans as a Chrome trace-event file")
     return parser
+
+
+def supervisor_policy_from_args(args: argparse.Namespace):
+    """The SupervisorPolicy the sweep flags describe (None = legacy)."""
+    from repro.resilience.supervisor import RetryPolicy, SupervisorPolicy
+    if (args.point_timeout is None and args.heartbeat_interval is None
+            and args.max_rss_mb is None and not args.max_retries):
+        return None
+    policy = SupervisorPolicy(
+        point_timeout_seconds=args.point_timeout,
+        heartbeat_interval_seconds=args.heartbeat_interval or 0.0,
+        max_rss_mb=args.max_rss_mb,
+        retry=RetryPolicy(max_attempts=args.max_retries + 1))
+    policy.validate()
+    return policy
 
 
 def parse_axis_token(token: str):
@@ -261,6 +303,20 @@ def parse_axes(specs: list[str]) -> dict[str, list]:
     return axes
 
 
+def sweep_exit_code(table) -> int:
+    """The taxonomy code of a finished campaign.
+
+    Quarantined points are the supervisor doing its job — the campaign
+    terminated with the poison points isolated and recorded — so under
+    ``on_error="skip"`` they do not fail the exit code; any *other*
+    failure still does.
+    """
+    from repro.resilience.supervisor import QuarantinedPoint
+    hard = [error for _settings, error in table.failures()
+            if not isinstance(error, QuarantinedPoint)]
+    return EXIT_OK if not hard else EXIT_FAILURE
+
+
 def sweep_main(argv: list[str]) -> int:
     parser = build_sweep_parser()
     args = parser.parse_args(argv)
@@ -271,6 +327,13 @@ def sweep_main(argv: list[str]) -> int:
     try:
         axes = parse_axes(args.axes)
         sweep = Sweep(base_cores=args.cores, axes=axes)
+        policy = supervisor_policy_from_args(args)
+        for path in (args.out, args.chrome_trace):
+            if path is not None:
+                directory = os.path.dirname(path) or "."
+                if not os.path.isdir(directory):
+                    raise ValueError(
+                        f"output directory does not exist: {directory}")
     except ValueError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)
         return EXIT_CONFIG
@@ -281,10 +344,22 @@ def sweep_main(argv: list[str]) -> int:
 
     metrics = tuple(name.strip() for name in args.metrics.split(",")
                     if name.strip())
+    from repro.coyote.parallel import ParallelSweep
+    engine = ParallelSweep(sweep, workers=args.workers,
+                           on_error=args.on_error,
+                           progress=args.progress,
+                           campaign_path=args.campaign, policy=policy)
     try:
-        table = sweep.run(factory, on_error=args.on_error,
-                          workers=args.workers, progress=args.progress,
-                          campaign_path=args.campaign)
+        table = engine.run(factory)
+    except KeyboardInterrupt:
+        # The engine drained its pool and flushed the partial campaign
+        # checkpoint before letting the interrupt reach us.
+        print("interrupted", file=sys.stderr)
+        if args.campaign is not None:
+            print(f"  campaign checkpoint: {args.campaign} "
+                  f"(rerun with --campaign to warm-start)",
+                  file=sys.stderr)
+        return EXIT_INTERRUPT
     except (ValueError, DeadlockError, SimulationError) as exc:
         print(f"sweep failed: {type(exc).__name__}: {exc}",
               file=sys.stderr)
@@ -296,6 +371,15 @@ def sweep_main(argv: list[str]) -> int:
           f"({aggregate['failed']} failed)")
     print(f"workers              : {table.workers}")
     print(f"campaign wall time   : {table.wall_seconds:.2f} s")
+    if policy is not None:
+        counters = engine.monitor.counters
+        print(f"supervisor           : {counters['attempts']} attempts, "
+              f"{counters['retries']} retries, "
+              f"{counters['quarantined']} quarantined")
+    for event in table.degradations:
+        print(f"pool degraded        : {event.from_workers} -> "
+              f"{event.to_workers or 'serial'} workers "
+              f"({event.reason})", file=sys.stderr)
     if args.best is not None and aggregate["succeeded"]:
         best = table.best(args.best)
         print(f"best {args.best:<15}: {best.settings} "
@@ -303,6 +387,14 @@ def sweep_main(argv: list[str]) -> int:
     for settings, error in table.failures():
         print(f"failed point {settings}: {type(error).__name__}: {error}",
               file=sys.stderr)
+        tail = getattr(error, "stderr_tail", "")
+        if tail:
+            print(f"  worker stderr tail: {tail}", file=sys.stderr)
+    if args.chrome_trace is not None:
+        with open(args.chrome_trace, "w") as handle:
+            json.dump(engine.monitor.chrome_trace(), handle, indent=1)
+            handle.write("\n")
+        print(f"chrome trace written : {args.chrome_trace}")
     if args.out is not None:
         document = table.to_dict(metrics=metrics)
         document["aggregate"] = aggregate
@@ -310,7 +402,7 @@ def sweep_main(argv: list[str]) -> int:
             json.dump(document, handle, indent=1)
             handle.write("\n")
         print(f"table written        : {args.out}")
-    return EXIT_OK if not table.failures() else EXIT_FAILURE
+    return sweep_exit_code(table)
 
 
 def main(argv: list[str] | None = None) -> int:

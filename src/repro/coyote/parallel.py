@@ -1,4 +1,4 @@
-"""The parallel sweep execution engine.
+"""The parallel sweep execution engine, supervised.
 
 Coyote exists for "the fast comparison of different designs", but a
 cartesian campaign run serially leaves every host core but one idle.
@@ -14,12 +14,28 @@ Design decisions, in the order they matter:
   configuration (seeded fault injection, telemetry, watchdog) from the
   same ``base + settings`` recipe as the serial loop — the shared
   :func:`~repro.coyote.sweep.run_point` — and the parent orders
-  outcomes by point index, never by completion order.
+  outcomes by point index, never by completion order.  Retry backoff
+  jitter is seeded (policy seed × point index × attempt), never drawn
+  from wall time.
 * **Crash isolation.**  One process per point means a worker that dies
   hard (segfault, ``os._exit``, OOM-kill) loses that point only: the
-  parent observes the EOF on the result pipe plus the exit code and
-  records a :class:`WorkerCrash` failure, exactly like any other
+  parent observes the EOF on the result pipe plus the exit code, reads
+  the worker's captured stderr tail, and records a
+  :class:`WorkerCrash` failure, exactly like any other
   ``on_error="skip"`` failure.
+* **Supervision.**  With a
+  :class:`~repro.resilience.supervisor.SupervisorPolicy`, every
+  attempt runs under the full lifecycle: workers send periodic
+  ``(cycles, RSS)`` heartbeats over the result pipe, the parent
+  enforces a per-point wall-clock timeout, a heartbeat deadline and an
+  RSS ceiling, reaps overdue workers (SIGTERM → SIGKILL), re-dispatches
+  with bounded seeded backoff, and quarantines a point that exhausts
+  its retries as a structured
+  :class:`~repro.resilience.supervisor.QuarantinedPoint`.  Repeated
+  pool-level failures (fork failures, RSS trips) step the pool down
+  ``N → N/2 → … → 1 → serial`` with logged
+  :class:`~repro.resilience.supervisor.DegradationEvent` records
+  instead of aborting.
 * **Error transport.**  A worker-side exception crosses the process
   boundary only if it survives a local pickle round-trip; otherwise a
   picklable :class:`RemoteError` stand-in carries the original type
@@ -27,10 +43,16 @@ Design decisions, in the order they matter:
 * **Warm-start.**  With ``campaign_path`` set, every completed point is
   appended to an atomic campaign checkpoint
   (:func:`repro.resilience.checkpoint.save_campaign`); a restarted
-  campaign loads it and only runs the missing points.
+  campaign loads it and only runs the missing points — including
+  quarantined ones, which are never re-executed.  A SIGINT mid-campaign
+  drains the pool and still flushes the partial checkpoint before the
+  interrupt propagates.
 * **Progress.**  ``progress=True`` streams ``k/n points, ETA`` through
   the ``repro.telemetry`` logger namespace
-  (:class:`~repro.telemetry.campaign.CampaignProgress`).
+  (:class:`~repro.telemetry.campaign.CampaignProgress`); the supervised
+  lifecycle reports to a
+  :class:`~repro.telemetry.campaign.CampaignMonitor` (heartbeat gauges,
+  retry/quarantine counters, per-attempt Chrome trace spans).
 
 The engine uses the ``fork`` start method where the platform offers it
 (workload factories may be closures); on spawn-only platforms the
@@ -39,9 +61,16 @@ factory must be picklable (a module-level function).
 
 from __future__ import annotations
 
+import io
 import multiprocessing
+import os
 import pickle
+import sys
+import tempfile
+import threading
 import time
+from collections import deque
+from dataclasses import dataclass, field
 from multiprocessing import connection
 from typing import Any, Callable
 
@@ -53,15 +82,22 @@ from repro.coyote.sweep import (
     _canonical_value,
     run_point,
 )
+from repro.resilience import supervisor as supervision
 from repro.resilience.checkpoint import load_campaign, save_campaign
-from repro.telemetry.campaign import CampaignProgress
+from repro.resilience.supervisor import Supervisor, SupervisorPolicy
+from repro.telemetry.campaign import CampaignMonitor, CampaignProgress
 
 # How long the parent sleeps in connection.wait when nothing is ready.
 _WAIT_SECONDS = 0.05
 
 
 class WorkerCrash(SimulationError):
-    """A sweep worker process died without reporting a result."""
+    """A sweep worker process died without reporting a result.
+
+    ``exit_code`` and ``stderr_tail`` (the last ~2 KB the worker wrote
+    to stderr) ride along as structured details so crash points are
+    diagnosable from the failure record alone.
+    """
 
 
 class RemoteError(SimulationError):
@@ -89,24 +125,89 @@ def _portable_error(error: Exception | None) -> Exception | None:
 
 def _worker_main(conn, index: int, settings: dict[str, Any],
                  base_cores: int, base_overrides: dict[str, Any],
-                 make_workload: Callable, require_verified: bool) -> None:
-    """Run one point in a child process and ship the outcome back."""
+                 make_workload: Callable, require_verified: bool,
+                 heartbeat_seconds: float = 0.0,
+                 stderr_path: str | None = None) -> None:
+    """Run one point in a child process and ship the outcome back.
+
+    The child's stderr (fd 2) is redirected to ``stderr_path`` first,
+    so whatever a dying worker manages to print — a traceback, an
+    allocator complaint — is recoverable by the parent.  With
+    ``heartbeat_seconds > 0`` a daemon thread streams ``("hb", index,
+    cycles, rss_mb)`` tuples over the same pipe the result travels on;
+    a lock keeps the two senders from interleaving a message.
+    """
+    if stderr_path is not None:
+        try:
+            fd = os.open(stderr_path,
+                         os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o600)
+            os.dup2(fd, 2)
+            os.close(fd)
+            # Rebind sys.stderr onto the redirected fd 2: a forked child
+            # inherits the parent's stderr *object*, which may not write
+            # through fd 2 at all (a test harness capture, a logging
+            # shim) — and writing into a parent-owned buffer from the
+            # child is wrong either way.
+            sys.stderr = io.TextIOWrapper(
+                io.FileIO(2, "w", closefd=False), line_buffering=True)
+        except OSError:
+            pass
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    probe: dict[str, Any] = {"simulation": None}
+
+    def beat() -> None:
+        while True:
+            if not supervision.heartbeats_suppressed():
+                simulation = probe["simulation"]
+                cycles = 0
+                if simulation is not None:
+                    try:
+                        cycles = (simulation.orchestrator.scheduler
+                                  .current_cycle)
+                    except Exception:
+                        pass
+                try:
+                    with send_lock:
+                        conn.send(("hb", index, cycles,
+                                   supervision.worker_rss_mb()))
+                except Exception:
+                    return
+            if stop.wait(heartbeat_seconds):
+                return
+
+    thread = None
+    if heartbeat_seconds > 0:
+        thread = threading.Thread(target=beat, daemon=True,
+                                  name="coyote-heartbeat")
+        thread.start()
+
+    def observe(simulation) -> None:
+        probe["simulation"] = simulation
+
     try:
         point = run_point(settings, base_cores, base_overrides,
-                          make_workload, require_verified)
+                          make_workload, require_verified,
+                          on_simulation=observe)
         point.error = _portable_error(point.error)
     except BaseException as exc:  # run_point never raises; belt & braces
         point = SweepPoint(settings, None, False, _portable_error(exc))
+    if thread is not None:
+        stop.set()
+        thread.join(timeout=1.0)
     try:
-        conn.send((index, point))
+        with send_lock:
+            conn.send(("result", index, point))
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
         # Results themselves must be picklable (the checkpoint subsystem
         # guarantees it); if something slipped through, degrade to a
         # failure record rather than losing the campaign slot.
-        conn.send((index, SweepPoint(
-            settings, None, False,
-            RemoteError(type(exc).__name__,
-                        f"sweep point result was not picklable: {exc}"))))
+        with send_lock:
+            conn.send(("result", index, SweepPoint(
+                settings, None, False,
+                RemoteError(type(exc).__name__,
+                            f"sweep point result was not picklable: "
+                            f"{exc}"))))
     finally:
         conn.close()
 
@@ -123,6 +224,21 @@ def axes_key(axes: dict[str, list]) -> str:
                  for name, values in axes.items()})
 
 
+@dataclass
+class _ActiveWorker:
+    """Parent-side state of one in-flight attempt."""
+
+    process: Any
+    conn: Any
+    index: int
+    settings: dict[str, Any]
+    attempt: int
+    started: float
+    last_beat: float
+    beats: list = field(default_factory=list)   # [(cycles, rss_mb)]
+    stderr_path: str | None = None
+
+
 class ParallelSweep:
     """Campaign executor behind :meth:`repro.coyote.sweep.Sweep.run`.
 
@@ -133,12 +249,16 @@ class ParallelSweep:
     first observed failure and re-raises — prompt, but which failing
     point surfaces first is completion-order dependent, so deterministic
     campaigns should prefer ``"skip"``.
+
+    A supervised ``policy`` always uses the worker pool (even for
+    ``workers=1``): timeouts and reaping need process isolation.
     """
 
     def __init__(self, sweep: Sweep, *, workers: int = 1,
                  on_error: str = "raise", require_verified: bool = True,
                  progress: bool = False, campaign_path=None,
-                 mp_context: str | None = None):
+                 mp_context: str | None = None,
+                 policy: SupervisorPolicy | None = None):
         if on_error not in ("raise", "skip"):
             raise ValueError(
                 f"on_error must be 'raise' or 'skip', got {on_error!r}")
@@ -150,6 +270,10 @@ class ParallelSweep:
         self.require_verified = require_verified
         self.progress = progress
         self.campaign_path = campaign_path
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        self.policy.validate()
+        self.monitor = CampaignMonitor()
+        self.supervisor = Supervisor(self.policy, monitor=self.monitor)
         if mp_context is None:
             methods = multiprocessing.get_all_start_methods()
             mp_context = "fork" if "fork" in methods else "spawn"
@@ -189,73 +313,236 @@ class ParallelSweep:
             if point.failed and self.on_error == "raise":
                 raise point.error
 
-        if self.workers == 1:
-            for index, settings in pending:
-                record(index, run_point(
-                    settings, self.sweep.base_cores,
-                    self.sweep.base_overrides, make_workload,
-                    self.require_verified))
-        else:
-            self._run_pool(pending, make_workload, record)
+        try:
+            if self.workers == 1 and not self.policy.supervised:
+                for index, settings in pending:
+                    record(index, run_point(
+                        settings, self.sweep.base_cores,
+                        self.sweep.base_overrides, make_workload,
+                        self.require_verified))
+            else:
+                self._run_pool(pending, make_workload, record)
+        except KeyboardInterrupt:
+            # The pool was drained by _run_pool's finally; persist what
+            # the campaign already computed before the interrupt
+            # propagates (the CLI maps it to exit 130).
+            if self.campaign_path is not None:
+                save_campaign(self.campaign_path, key, completed_store)
+            raise
 
         table = SweepTable(
             axes=self.sweep.axes,
             points=[outcomes[index] for index in range(len(points))],
             workers=self.workers,
-            wall_seconds=time.perf_counter() - started)
+            wall_seconds=time.perf_counter() - started,
+            degradations=list(self.supervisor.degradations))
         return table
 
     # -- the worker pool ---------------------------------------------------
 
     def _spawn(self, index: int, settings: dict[str, Any],
-               make_workload: Callable):
-        """Start one single-point worker; returns (process, conn)."""
+               make_workload: Callable,
+               attempt: int = 1) -> _ActiveWorker:
+        """Start one single-point worker under supervision state."""
         parent_conn, child_conn = self._context.Pipe(duplex=False)
-        process = self._context.Process(
-            target=_worker_main,
-            args=(child_conn, index, settings, self.sweep.base_cores,
-                  self.sweep.base_overrides, make_workload,
-                  self.require_verified),
-            daemon=True)
-        process.start()
+        fd, stderr_path = tempfile.mkstemp(prefix="coyote-sweep-",
+                                           suffix=".stderr")
+        os.close(fd)
+        try:
+            process = self._context.Process(
+                target=_worker_main,
+                args=(child_conn, index, settings, self.sweep.base_cores,
+                      self.sweep.base_overrides, make_workload,
+                      self.require_verified,
+                      self.policy.heartbeat_interval_seconds, stderr_path),
+                daemon=True)
+            process.start()
+        except BaseException:
+            parent_conn.close()
+            child_conn.close()
+            os.unlink(stderr_path)
+            raise
         child_conn.close()
-        return process, parent_conn
+        now = time.monotonic()
+        self.monitor.attempt_started(index, settings, attempt)
+        return _ActiveWorker(process, parent_conn, index, settings,
+                             attempt, now, now, [], stderr_path)
+
+    def _retire(self, state: _ActiveWorker,
+                active: dict[Any, _ActiveWorker]) -> str:
+        """Ensure the worker is dead, the pipe closed, the stderr file
+        harvested; returns the stderr tail."""
+        process = state.process
+        if process.is_alive():
+            process.terminate()
+            process.join(self.policy.term_grace_seconds)
+            if process.is_alive():
+                process.kill()
+                process.join()
+        else:
+            process.join()
+        try:
+            state.conn.close()
+        except OSError:
+            pass
+        active.pop(state.conn, None)
+        tail = supervision.read_stderr_tail(state.stderr_path)
+        if state.stderr_path is not None:
+            try:
+                os.unlink(state.stderr_path)
+            except OSError:
+                pass
+            state.stderr_path = None
+        return tail
 
     def _run_pool(self, pending: list[tuple[int, dict[str, Any]]],
                   make_workload: Callable,
                   record: Callable[[int, SweepPoint], None]) -> None:
-        queue = list(pending)
-        active: dict[Any, tuple[Any, int, dict[str, Any]]] = {}
+        policy = self.policy
+        supervisor = self.supervisor
+        queue: deque = deque(pending)
+        retries: list[tuple[float, int, dict[str, Any]]] = []
+        active: dict[Any, _ActiveWorker] = {}
+        current_workers = self.workers
+        serial_mode = False
+
+        def on_death(state: _ActiveWorker, outcome: str) -> None:
+            """One attempt died (crash observed or worker reaped):
+            record the failure, then retry or quarantine."""
+            tail = self._retire(state, active)
+            exit_code = state.process.exitcode
+            self.monitor.attempt_finished(state.index, state.settings,
+                                          state.attempt, outcome)
+            if not policy.supervised:
+                record(state.index, SweepPoint(
+                    state.settings, None, False,
+                    WorkerCrash(
+                        f"sweep worker for point {state.settings} died "
+                        f"without reporting a result "
+                        f"(exit code {exit_code})",
+                        exit_code=exit_code, stderr_tail=tail)))
+                return
+            action, payload = supervisor.record_failure(
+                state.index, state.settings, outcome, exit_code, tail,
+                state.beats)
+            if action == "retry":
+                retries.append((time.monotonic() + payload, state.index,
+                                state.settings))
+            else:
+                record(state.index, SweepPoint(
+                    state.settings, None, False, payload))
+
+        def degrade(reason: str) -> None:
+            nonlocal current_workers, serial_mode
+            stepped = supervisor.pool_failure(reason, current_workers)
+            if stepped is None:
+                return
+            if stepped == 0:
+                serial_mode = True
+            else:
+                current_workers = stepped
+
         try:
-            while queue or active:
-                while queue and len(active) < self.workers:
-                    index, settings = queue.pop(0)
-                    process, conn = self._spawn(index, settings,
-                                                make_workload)
-                    active[conn] = (process, index, settings)
-                ready = connection.wait(list(active), _WAIT_SECONDS)
-                for conn in ready:
-                    process, index, settings = active[conn]
+            while queue or retries or active:
+                now = time.monotonic()
+                # Release retries whose backoff elapsed, in index order.
+                due = sorted((item for item in retries if item[0] <= now),
+                             key=lambda item: item[1])
+                if due:
+                    retries = [item for item in retries if item[0] > now]
+                    queue.extend((index, settings)
+                                 for _release, index, settings in due)
+
+                if serial_mode and not active:
+                    # Graceful-degradation floor: run the remainder
+                    # in-process (no isolation left, but the campaign
+                    # still terminates with every point accounted for).
+                    leftovers = sorted(
+                        list(queue) + [(index, settings) for _release,
+                                       index, settings in retries])
+                    for index, settings in leftovers:
+                        record(index, run_point(
+                            settings, self.sweep.base_cores,
+                            self.sweep.base_overrides, make_workload,
+                            self.require_verified))
+                    return
+
+                while (queue and not serial_mode
+                       and len(active) < current_workers):
+                    index, settings = queue.popleft()
+                    attempt = supervisor.attempt_number(index)
                     try:
-                        received_index, point = conn.recv()
+                        state = self._spawn(index, settings,
+                                            make_workload, attempt)
+                    except OSError as exc:
+                        queue.appendleft((index, settings))
+                        if not policy.degrade_after:
+                            raise
+                        degrade(f"worker spawn failed: {exc}")
+                        break
+                    active[state.conn] = state
+
+                if active:
+                    ready = connection.wait(list(active), _WAIT_SECONDS)
+                else:
+                    ready = []
+                    if queue or retries:
+                        time.sleep(_WAIT_SECONDS)
+
+                for conn in ready:
+                    state = active.get(conn)
+                    if state is None:
+                        continue
+                    try:
+                        message = conn.recv()
                     except EOFError:
-                        process.join()
-                        point = SweepPoint(
-                            settings, None, False,
-                            WorkerCrash(
-                                f"sweep worker for point {settings} died "
-                                f"without reporting a result "
-                                f"(exit code {process.exitcode})"))
-                        received_index = index
-                    else:
-                        process.join()
-                    conn.close()
-                    del active[conn]
+                        on_death(state, "crash")
+                        continue
+                    if message[0] == "hb":
+                        _tag, _index, cycles, rss_mb = message
+                        state.last_beat = time.monotonic()
+                        state.beats.append((cycles, rss_mb))
+                        del state.beats[:-supervision.HEARTBEAT_TRAIL]
+                        self.monitor.heartbeat(state.index, cycles,
+                                               rss_mb)
+                        if (policy.max_rss_mb is not None
+                                and rss_mb > policy.max_rss_mb):
+                            self.monitor.reaped(state.index,
+                                                state.settings,
+                                                "rss-exceeded")
+                            on_death(state, "rss-exceeded")
+                            degrade(f"worker RSS {rss_mb:.0f} MB over "
+                                    f"the {policy.max_rss_mb:.0f} MB "
+                                    f"ceiling")
+                        continue
+                    _tag, received_index, point = message
+                    state.process.join()
+                    self.monitor.attempt_finished(
+                        state.index, state.settings, state.attempt,
+                        "failed" if point.failed else "ok")
+                    self._retire(state, active)
                     record(received_index, point)
+
+                now = time.monotonic()
+                for state in list(active.values()):
+                    overdue = supervisor.overdue(state.started,
+                                                 state.last_beat, now)
+                    if overdue is not None:
+                        self.monitor.reaped(state.index, state.settings,
+                                            overdue)
+                        on_death(state, overdue)
         finally:
-            # on_error="raise" (or any unexpected parent-side error):
-            # don't leave orphan simulations burning the host.
-            for conn, (process, _index, _settings) in active.items():
-                process.terminate()
-                process.join()
-                conn.close()
+            # on_error="raise", SIGINT, or any unexpected parent-side
+            # error: don't leave orphan simulations burning the host.
+            for state in list(active.values()):
+                state.process.terminate()
+                state.process.join()
+                try:
+                    state.conn.close()
+                except OSError:
+                    pass
+                if state.stderr_path is not None:
+                    try:
+                        os.unlink(state.stderr_path)
+                    except OSError:
+                        pass

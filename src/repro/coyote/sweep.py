@@ -119,11 +119,20 @@ class SweepTable:
     points: list[SweepPoint] = field(default_factory=list)
     workers: int = 1
     wall_seconds: float = 0.0
+    # Pool-degradation steps taken by the campaign supervisor (a
+    # host-side fact, like workers/wall_seconds — not in to_dict).
+    degradations: list = field(default_factory=list)
 
     def failures(self) -> list[tuple[dict[str, Any], Exception]]:
         """The ``(settings, error)`` of every failed point."""
         return [(point.settings, point.error) for point in self.points
                 if point.failed]
+
+    def quarantined(self) -> list[SweepPoint]:
+        """Points the campaign supervisor quarantined (retries
+        exhausted); their ``error.attempts`` holds the full history."""
+        return [point for point in self.points
+                if point.error_kind == "QuarantinedPoint"]
 
     def best(self, metric: str = "cycles",
              minimise: bool = True) -> SweepPoint:
@@ -209,6 +218,7 @@ class SweepTable:
             "points": len(self.points),
             "succeeded": sum(1 for point in self.points if not point.failed),
             "failed": sum(1 for point in self.points if point.failed),
+            "quarantined": len(self.quarantined()),
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
             "metrics": {},
@@ -250,7 +260,8 @@ def call_workload_factory(make_workload: Callable,
 
 def run_point(settings: dict[str, Any], base_cores: int,
               base_overrides: dict[str, Any], make_workload: Callable,
-              require_verified: bool = True) -> SweepPoint:
+              require_verified: bool = True,
+              on_simulation: Callable | None = None) -> SweepPoint:
     """Execute one sweep point, never raising.
 
     This is the single execution path shared by the serial loop and
@@ -258,12 +269,19 @@ def run_point(settings: dict[str, Any], base_cores: int,
     (including seeded fault and telemetry setup) from the same
     ``base + settings`` recipe, which is what makes a parallel table
     bit-identical to a serial one.
+
+    ``on_simulation`` (if given) receives the built
+    :class:`Simulation` before it runs — the supervised worker's
+    heartbeat thread uses it to report cycles simulated without
+    touching the execution path.
     """
     try:
         config = SimulationConfig.for_cores(
             base_cores, **{**base_overrides, **settings})
         workload = call_workload_factory(make_workload, settings)
         simulation = Simulation(config, workload.program)
+        if on_simulation is not None:
+            on_simulation(simulation)
         results = simulation.run()
         verified = workload.verify(simulation.memory)
     except Exception as exc:
@@ -304,7 +322,8 @@ class Sweep:
             on_error: str = "raise",
             workers: int = 1,
             progress: bool = False,
-            campaign_path=None) -> SweepTable:
+            campaign_path=None,
+            policy=None) -> SweepTable:
         """Run every point; ``make_workload`` is called per point.
 
         ``on_error`` controls failure isolation: ``"raise"`` (the
@@ -323,9 +342,16 @@ class Sweep:
         ``repro.telemetry`` logger; ``campaign_path`` persists completed
         points so an interrupted campaign warm-starts instead of
         recomputing.
+
+        ``policy`` (a
+        :class:`~repro.resilience.supervisor.SupervisorPolicy`) runs
+        every point under the supervised lifecycle: heartbeats,
+        per-point timeout, RSS ceiling, bounded retries with seeded
+        backoff, and quarantine of points that exhaust them — see
+        docs/RESILIENCE.md.
         """
         from repro.coyote.parallel import ParallelSweep
         return ParallelSweep(
             self, workers=workers, on_error=on_error,
             require_verified=require_verified, progress=progress,
-            campaign_path=campaign_path).run(make_workload)
+            campaign_path=campaign_path, policy=policy).run(make_workload)

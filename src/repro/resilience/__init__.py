@@ -20,6 +20,10 @@ deterministic tools (docs/RESILIENCE.md):
   checkpoints the parallel sweep engine warm-starts from.
 * :mod:`repro.resilience.invariants` — periodic conservation and
   consistency checks over the live simulation state.
+* :mod:`repro.resilience.supervisor` — the supervised campaign
+  runtime behind parallel sweeps: heartbeats, per-point timeouts,
+  bounded retries with seeded backoff, poison-point quarantine, and
+  graceful pool degradation.
 
 The canonical import surface is :mod:`repro.api`; the blessed names
 below are re-exported from there (lazily, to stay cycle-free).
@@ -29,11 +33,16 @@ import importlib
 
 # Names served from the repro.api facade (the canonical path).
 _API_NAMES = frozenset({
+    "AttemptRecord",
     "CheckpointError",
     "DeadlockError",
+    "DegradationEvent",
     "FaultPlan",
     "FaultSpec",
+    "QuarantinedPoint",
     "ResilienceConfig",
+    "RetryPolicy",
+    "SupervisorPolicy",
     "load_checkpoint",
     "restore_simulation",
     "save_checkpoint",
@@ -44,6 +53,7 @@ _LOCAL_NAMES = {
     "FaultInjector": "repro.resilience.faults",
     "InvariantChecker": "repro.resilience.invariants",
     "InvariantViolation": "repro.resilience.invariants",
+    "Supervisor": "repro.resilience.supervisor",
     "Watchdog": "repro.resilience.watchdog",
     "build_snapshot": "repro.resilience.watchdog",
     "load_campaign": "repro.resilience.checkpoint",

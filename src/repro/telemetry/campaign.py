@@ -1,10 +1,15 @@
-"""Campaign-level progress telemetry.
+"""Campaign-level progress and supervision telemetry.
 
 A sweep is a campaign of independent simulations; its progress signal
 (``k/n points, ETA``) belongs to the same telemetry surface as the
 per-run heartbeat, so :class:`CampaignProgress` streams through the
 ``repro.telemetry`` logger namespace — anything already consuming the
 run heartbeat (``--progress``) sees campaign progress for free.
+
+:class:`CampaignMonitor` is the supervised runtime's observability:
+worker-heartbeat gauges (last reported cycles / RSS per point),
+retry / quarantine / degradation counters, and per-attempt spans
+exported as Chrome trace events (``coyote-sim sweep --chrome-trace``).
 """
 
 from __future__ import annotations
@@ -70,3 +75,79 @@ class CampaignProgress:
         line = ", ".join(parts)
         self._sink(line)
         return line
+
+
+class CampaignMonitor:
+    """Observability of the supervised campaign runtime.
+
+    The parallel engine reports every lifecycle transition here:
+    attempts started / finished (kept as Chrome trace complete-events so
+    a whole campaign's attempt timeline opens in Perfetto), worker
+    heartbeats (kept as last-value gauges per point), scheduled retries,
+    quarantines, and pool-degradation steps.  All host-side: none of it
+    enters the canonical ``SweepTable.to_dict`` document.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 sink: Callable[[str], None] | None = None):
+        self.counters = {"attempts": 0, "heartbeats": 0, "retries": 0,
+                         "quarantined": 0, "reaped": 0, "degradations": 0}
+        self.heartbeat_gauges: dict[int, dict[str, float]] = {}
+        self._clock = clock
+        self._sink = sink or logger.info
+        self._origin = clock()
+        self._open: dict[tuple[int, int], float] = {}
+        self._events: list[dict] = []
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._origin) * 1e6
+
+    def attempt_started(self, index: int, settings: dict,
+                        attempt: int) -> None:
+        self.counters["attempts"] += 1
+        self._open[(index, attempt)] = self._now_us()
+
+    def attempt_finished(self, index: int, settings: dict, attempt: int,
+                         outcome: str) -> None:
+        start = self._open.pop((index, attempt), None)
+        if start is None:
+            return
+        self._events.append({
+            "name": f"point[{index}] attempt {attempt}",
+            "cat": "sweep", "ph": "X", "pid": 1, "tid": index,
+            "ts": round(start, 3),
+            "dur": round(self._now_us() - start, 3),
+            "args": {"outcome": outcome, "settings": str(settings)},
+        })
+
+    def heartbeat(self, index: int, cycles: int, rss_mb: float) -> None:
+        self.counters["heartbeats"] += 1
+        self.heartbeat_gauges[index] = {"cycles": cycles, "rss_mb": rss_mb}
+
+    def reaped(self, index: int, settings: dict, outcome: str) -> None:
+        self.counters["reaped"] += 1
+        self._sink(f"sweep point {settings}: worker reaped ({outcome})")
+
+    def retry_scheduled(self, index: int, settings: dict, attempt: int,
+                        backoff_seconds: float) -> None:
+        self.counters["retries"] += 1
+        self._sink(f"sweep point {settings}: attempt {attempt} failed, "
+                   f"retrying in {backoff_seconds:.2f}s")
+
+    def quarantined(self, index: int, settings: dict,
+                    attempts: int) -> None:
+        self.counters["quarantined"] += 1
+        self._sink(f"sweep point {settings}: quarantined after "
+                   f"{attempts} attempt(s)")
+
+    def degraded(self, event) -> None:
+        self.counters["degradations"] += 1
+        target = event.to_workers or "serial"
+        self._sink(f"pool degraded after {event.pool_failures} pool "
+                   f"failure(s): {event.reason} "
+                   f"({event.from_workers} -> {target} workers)")
+
+    def chrome_trace(self) -> dict:
+        """The attempt timeline as a Chrome trace-event document."""
+        return {"traceEvents": list(self._events),
+                "displayTimeUnit": "ms"}

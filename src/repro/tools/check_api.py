@@ -38,6 +38,18 @@ DEPRECATED_SHIMS = (
     ("repro.resilience.faults", "load_fault_plan"),
 )
 
+# Names the facade is contractually required to export (subsystems that
+# were announced public; losing one is an API break even if the routing
+# bookkeeping stays self-consistent).
+REQUIRED_FACADE_NAMES = (
+    # the supervised campaign runtime
+    "SupervisorPolicy",
+    "RetryPolicy",
+    "QuarantinedPoint",
+    "AttemptRecord",
+    "DegradationEvent",
+)
+
 
 def _fail(errors: list[str]) -> int:
     for error in errors:
@@ -58,6 +70,10 @@ def check() -> int:
         if not hasattr(api, name):
             errors.append(f"{FACADE}.__all__ lists {name!r} but the "
                           f"module does not define it")
+    for name in REQUIRED_FACADE_NAMES:
+        if name not in exported:
+            errors.append(f"{FACADE} no longer exports required public "
+                          f"name {name!r}")
 
     for package_name in FACADED_PACKAGES:
         package = importlib.import_module(package_name)

@@ -137,6 +137,33 @@ class TestCampaignWarmStart:
         assert first.to_dict(DIFFERENTIAL_METRICS) \
             == second.to_dict(DIFFERENTIAL_METRICS)
 
+    def test_interrupted_campaign_resumes_bit_identical(self, tmp_path):
+        # Simulate ctrl-C landing mid-campaign: the factory interrupts
+        # after two points; the partial campaign must survive and a
+        # warm restart (with a different worker count, even) must
+        # produce the uninterrupted reference table bit for bit.
+        campaign = tmp_path / "axpy.campaign"
+        calls = {"count": 0}
+
+        def interrupting_factory(settings):
+            if calls["count"] == 2:
+                raise KeyboardInterrupt
+            calls["count"] += 1
+            return make_axpy()
+
+        sweep = Sweep(base_cores=2, axes=dict(self.AXES))
+        with pytest.raises(KeyboardInterrupt):
+            sweep.run(interrupting_factory, workers=1, on_error="skip",
+                      campaign_path=campaign)
+        from repro.resilience import load_campaign
+        assert len(load_campaign(campaign, axes_key(self.AXES))) == 2
+        resumed = sweep.run(make_axpy, workers=2, on_error="skip",
+                            campaign_path=campaign)
+        reference = Sweep(base_cores=2, axes=dict(self.AXES)).run(
+            make_axpy, workers=1)
+        assert resumed.to_dict(DIFFERENTIAL_METRICS) \
+            == reference.to_dict(DIFFERENTIAL_METRICS)
+
     def test_campaign_refuses_mismatched_axes(self, tmp_path):
         campaign = tmp_path / "axpy.campaign"
         Sweep(base_cores=2, axes=dict(self.AXES)).run(
