@@ -34,6 +34,7 @@ from __future__ import annotations
 import argparse
 import hashlib
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -47,32 +48,32 @@ TRAJECTORY_PATH = REPO_ROOT / "BENCH_hotloop.json"
 DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.json"
 
 
-def _telemetry(profile: bool) -> TelemetryConfig:
-    return TelemetryConfig(host_profile=profile)
+def _telemetry(profile: bool, guest: bool = False) -> TelemetryConfig:
+    return TelemetryConfig(host_profile=profile, guest_profile=guest)
 
 
 WORKLOADS = {
     # Loop-overhead bound: eight cores live most cycles.
     "matmul-8core": (
         lambda: scalar_matmul(size=16, num_cores=8),
-        lambda profile=False: SimulationConfig.for_cores(
-            8, telemetry=_telemetry(profile)),
+        lambda profile=False, guest=False: SimulationConfig.for_cores(
+            8, telemetry=_telemetry(profile, guest)),
     ),
     # Fast-forward bound: long all-stalled gaps between events.
     "spmv-1core-himem": (
         lambda: scalar_spmv(num_rows=24, num_cores=1),
-        lambda profile=False: SimulationConfig.for_cores(
-            1, mem_latency=3000, telemetry=_telemetry(profile)),
+        lambda profile=False, guest=False: SimulationConfig.for_cores(
+            1, mem_latency=3000, telemetry=_telemetry(profile, guest)),
     ),
     "spmv-2core-himem": (
         lambda: scalar_spmv(num_rows=24, num_cores=2),
-        lambda profile=False: SimulationConfig.for_cores(
-            2, mem_latency=3000, telemetry=_telemetry(profile)),
+        lambda profile=False, guest=False: SimulationConfig.for_cores(
+            2, mem_latency=3000, telemetry=_telemetry(profile, guest)),
     ),
     "vmatmul-1core-himem": (
         lambda: vector_matmul(size=12, num_cores=1),
-        lambda profile=False: SimulationConfig.for_cores(
-            1, mem_latency=2000, telemetry=_telemetry(profile)),
+        lambda profile=False, guest=False: SimulationConfig.for_cores(
+            1, mem_latency=2000, telemetry=_telemetry(profile, guest)),
     ),
 }
 
@@ -82,7 +83,8 @@ QUICK_WORKLOADS = ("matmul-8core", "spmv-1core-himem")
 def _results_digest(results) -> str:
     """Hash of the simulated outcome, excluding host-side timing."""
     data = results.to_dict()
-    for key in ("wall_seconds", "host_mips", "host_profile"):
+    for key in ("wall_seconds", "host_mips", "host_profile",
+                "guest_profile"):
         data.pop(key, None)
     payload = json.dumps(data, sort_keys=True, default=str)
     return hashlib.sha256(payload.encode()).hexdigest()
@@ -122,6 +124,30 @@ def run_workload(name: str, reps: int, reference: bool = False) -> dict:
     profile = profiled.run().host_profile or {}
     best["spike_seconds"] = round(profile.get("spike_seconds", 0.0), 6)
     best["sparta_seconds"] = round(profile.get("sparta_seconds", 0.0), 6)
+
+    # Guest-profiling overhead: best-of timing with the guest profiler
+    # on, digest-checked against the unprofiled run (profiling must
+    # observe, never steer).  Tracked in the trajectory so the
+    # zero-cost-when-disabled baseline and the enabled cost both stay
+    # inspectable over time.
+    guest_wall = None
+    for _ in range(reps):
+        workload = make_workload()
+        simulation = Simulation(make_config(guest=True),
+                                workload.program)
+        simulation.orchestrator.use_reference_loop = reference
+        start = time.perf_counter()
+        results = simulation.run()
+        wall = time.perf_counter() - start
+        if _results_digest(results) != best["digest"]:
+            raise SystemExit(
+                f"{name}: guest-profiled run diverged from unprofiled")
+        if guest_wall is None or wall < guest_wall:
+            guest_wall = wall
+    best["profiled_wall_seconds"] = round(guest_wall, 6)
+    best["profiled_overhead_pct"] = round(
+        (guest_wall - best["wall_seconds"])
+        / best["wall_seconds"] * 100, 1)
     return best
 
 
@@ -141,7 +167,8 @@ def run_suite(names, reps: int, compare_reference: bool) -> dict:
         line = (f"{name}: {record['cycles']} cycles in "
                 f"{record['wall_seconds']:.3f}s "
                 f"({record['cycles_per_sec']:,.0f} cycles/s, "
-                f"{record['host_mips']:.3f} MIPS)")
+                f"{record['host_mips']:.3f} MIPS, "
+                f"profiled {record['profiled_overhead_pct']:+.1f}%)")
         if compare_reference:
             line += f"  speedup vs reference: " \
                     f"{record['speedup_vs_reference']:.2f}x"
@@ -155,6 +182,7 @@ def append_trajectory(records: dict) -> None:
         history = json.loads(TRAJECTORY_PATH.read_text())
     history.append({
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host_cpus": os.cpu_count(),
         "workloads": records,
     })
     TRAJECTORY_PATH.write_text(json.dumps(history, indent=2) + "\n")

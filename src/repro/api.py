@@ -24,7 +24,7 @@ repro.tools.check_api``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
 
@@ -57,6 +57,7 @@ from repro.resilience.supervisor import (
 )
 from repro.resilience.watchdog import DeadlockError
 from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.guestprof import CpiStack, GuestProfile, HotBlock
 
 __all__ = [
     # entry points
@@ -84,6 +85,10 @@ __all__ = [
     "QuarantinedPoint",
     "AttemptRecord",
     "DegradationEvent",
+    # guest-side performance introspection
+    "GuestProfile",
+    "CpiStack",
+    "HotBlock",
     # configuration of the optional subsystems
     "TelemetryConfig",
     "ResilienceConfig",
@@ -119,6 +124,14 @@ class RunOutcome:
         return bool(self.results.succeeded()
                     and (self.verified is None or self.verified))
 
+    @property
+    def guest_profile(self) -> GuestProfile | None:
+        """The guest-side profile (``run(..., profile=True)``), or
+        ``None`` when profiling was off or the run paused."""
+        if self.results is None:
+            return None
+        return self.results.guest_profile
+
 
 def _resolve_workload(kernel, cores: int, size: int | None):
     """A kernel name, a Workload object, or a zero-arg factory."""
@@ -131,7 +144,8 @@ def _resolve_workload(kernel, cores: int, size: int | None):
 
 def run(kernel, cores: int = 8, *, size: int | None = None,
         config: SimulationConfig | None = None,
-        pause_at: int | None = None, **overrides) -> RunOutcome:
+        pause_at: int | None = None, profile: bool = False,
+        **overrides) -> RunOutcome:
     """Run one kernel end-to-end and verify its output.
 
     ``kernel`` is a name from :data:`repro.kernels.KERNELS`, a built
@@ -141,6 +155,9 @@ def run(kernel, cores: int = 8, *, size: int | None = None,
     ``pause_at`` the simulation stops at that cycle for checkpointing
     (``outcome.results`` is ``None``-free only for completed runs, so
     paused runs return ``verified=None`` and no results access).
+    ``profile=True`` switches on the guest profiler; the finished
+    :class:`GuestProfile` is ``outcome.guest_profile`` and the
+    simulated outcome is bit-identical to an unprofiled run.
     """
     workload = _resolve_workload(kernel, cores, size)
     if config is None:
@@ -149,6 +166,10 @@ def run(kernel, cores: int = 8, *, size: int | None = None,
         raise ValueError(
             f"pass either a full config or keyword overrides, not both "
             f"(got overrides {sorted(overrides)})")
+    if profile and not config.telemetry.guest_profile:
+        # Copy-on-enable: never mutate a caller-owned config.
+        config = replace(config, telemetry=replace(
+            config.telemetry, guest_profile=True))
     simulation = Simulation(config, workload.program)
     results = simulation.run(pause_at=pause_at)
     if simulation.paused:

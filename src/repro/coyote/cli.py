@@ -185,6 +185,121 @@ def make_workload(kernel: str, cores: int, size: int | None):
     return kernels.instantiate(kernel, cores, size)
 
 
+# -- the profile subcommand --------------------------------------------------
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coyote-sim profile",
+        description="Run a kernel with the guest profiler and report "
+                    "CPI stacks, hot basic blocks and per-PC cache-"
+                    "miss attribution (docs/OBSERVABILITY.md).")
+    parser.add_argument("--kernel", choices=sorted(KERNELS),
+                        default="scalar-spmv", help="workload to profile")
+    parser.add_argument("--cores", type=int, default=8,
+                        help="number of simulated cores")
+    parser.add_argument("--size", type=int, default=None,
+                        help="problem size (kernel-specific default)")
+    parser.add_argument("--l2-mode", choices=("shared", "private"),
+                        default="shared", help="L2 sharing mode")
+    parser.add_argument("--mapping", choices=policy_names(),
+                        default="set-interleaving",
+                        help="address-to-bank mapping policy")
+    parser.add_argument("--noc-latency", type=int, default=6,
+                        help="crossbar NoC latency in cycles")
+    parser.add_argument("--mem-latency", type=int, default=100,
+                        help="memory access latency in cycles")
+    parser.add_argument("--vlen", type=int, default=512,
+                        help="vector register length in bits")
+    parser.add_argument("--top", type=int, default=10, metavar="N",
+                        help="blocks / miss PCs shown per table")
+    parser.add_argument("--per-core", action="store_true",
+                        help="also print each core's CPI stack")
+    parser.add_argument("--annotate", action="store_true",
+                        help="print disassembly of the hottest blocks "
+                             "with per-PC miss/stall markers")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the machine-readable profile "
+                             "document (schema "
+                             "coyote-guest-profile/v1)")
+    parser.add_argument("--chrome-trace", metavar="JSON", default=None,
+                        help="also write a Chrome trace with the "
+                             "per-core stall-class counter tracks")
+    return parser
+
+
+def profile_main(argv: list[str]) -> int:
+    from repro.telemetry.profile_report import (
+        profile_document,
+        render_annotated,
+        render_flat,
+    )
+    parser = build_profile_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.top < 1:
+            raise ValueError(f"--top must be >= 1, got {args.top}")
+        for path in (args.json, args.chrome_trace):
+            if path is not None:
+                directory = os.path.dirname(path) or "."
+                if not os.path.isdir(directory):
+                    raise ValueError(
+                        f"output directory does not exist: {directory}")
+        config = SimulationConfig.for_cores(
+            args.cores, l2_mode=args.l2_mode,
+            mapping_policy=args.mapping, noc_latency=args.noc_latency,
+            mem_latency=args.mem_latency, vlen_bits=args.vlen,
+            telemetry=TelemetryConfig(
+                guest_profile=True,
+                chrome_trace=args.chrome_trace is not None))
+        config.validate()
+    except ValueError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+
+    workload = make_workload(args.kernel, args.cores, args.size)
+    simulation = Simulation(config, workload.program)
+    try:
+        results = simulation.run()
+    except KeyboardInterrupt:
+        _dump_partial(simulation)
+        return EXIT_INTERRUPT
+    except DeadlockError as exc:
+        _report_deadlock(exc)
+        return EXIT_DEADLOCK
+    except SimulationError as exc:
+        print(f"simulation error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+
+    profile = results.guest_profile
+    verified = workload.verify(simulation.memory)
+    print(f"kernel               : {workload.name}")
+    print(f"cores                : {args.cores}")
+    print(f"cycles               : {results.cycles}")
+    print(f"instructions         : {results.instructions}")
+    print(f"output verified      : {verified}")
+    print()
+    print(render_flat(profile, top=args.top, per_core=args.per_core))
+    if args.annotate:
+        print()
+        print(render_annotated(profile, top=args.top))
+    if args.chrome_trace is not None:
+        path = simulation.write_chrome_trace(args.chrome_trace)
+        print(f"chrome trace written : {path}")
+    if args.json is not None:
+        document = profile_document(profile, kernel=workload.name,
+                                    cores=args.cores, verified=verified)
+        with open(args.json, "w") as handle:
+            json.dump(document, handle, indent=1)
+            handle.write("\n")
+        print(f"profile written      : {args.json}")
+
+    ok = verified and results.succeeded()
+    if not ok:
+        _report_failure(workload, results)
+    return EXIT_OK if ok else EXIT_VERIFY
+
+
 # -- the sweep subcommand ----------------------------------------------------
 
 
@@ -410,6 +525,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.sample_interval < 0:

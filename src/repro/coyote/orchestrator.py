@@ -143,6 +143,7 @@ class Orchestrator:
         # hot loop never touches them.
         self.telemetry: Telemetry | None = None
         self._chrome = None
+        self._guestprof = None
         if config.telemetry.enabled:
             self.telemetry = Telemetry(config.telemetry, config.num_cores,
                                        self._collect_telemetry_values)
@@ -153,6 +154,14 @@ class Orchestrator:
             if observer is not None:
                 self.hierarchy.noc.latency_observer = observer
             self._chrome = self.telemetry.chrome
+            guestprof = self.telemetry.guestprof
+            if guestprof is not None:
+                # Retire hooks live inside CoreModel.step; the
+                # submit/complete hooks below sit on miss paths only,
+                # so the hot loop itself needs no extra checks.
+                self._guestprof = guestprof
+                for core, profile in zip(self.cores, guestprof.cores):
+                    core.profile = profile
 
         # Resilience layer (docs/RESILIENCE.md): everything below is
         # None when the matching ResilienceConfig knob is off, so a
@@ -185,18 +194,29 @@ class Orchestrator:
         else:
             core_id = self.scoreboard.complete_miss(request.request_id)
         now = self.scheduler.current_cycle
+        guestprof = self._guestprof
+        pc = guestprof.note_complete(request) \
+            if guestprof is not None else None
         waiting_core = self._fetch_waits.pop(request.request_id, None)
         if waiting_core is not None:
             wait_state = self._states[waiting_core]
             wait_state.waiting_fetch_id = None
-            wait_state.fetch_stall_cycles += now - wait_state.stall_start
+            window = now - wait_state.stall_start
+            wait_state.fetch_stall_cycles += window
+            if guestprof is not None:
+                guestprof.stall_end(waiting_core, pc, request.l2_hit,
+                                    window, now, fetch=True)
             self._wake(waiting_core)
         elif core_id in self._raw_waiting:
             # One of this core's fills returned; let it retry its RAW
             # check on its next turn (it re-stalls if still blocked).
             self._raw_waiting.discard(core_id)
             state = self._states[core_id]
-            state.raw_stall_cycles += now - state.stall_start
+            window = now - state.stall_start
+            state.raw_stall_cycles += window
+            if guestprof is not None:
+                guestprof.stall_end(core_id, pc, request.l2_hit,
+                                    window, now, fetch=False)
             self._wake(core_id)
 
     def _wake(self, core_id: int) -> None:
@@ -217,6 +237,7 @@ class Orchestrator:
         fetch_id = None
         aggregate: list = []
         aggregating = self.config.memhier.mcpu_aggregation
+        guestprof = self._guestprof
         for miss in misses:
             if miss.kind is AccessKind.WRITEBACK:
                 # Fire-and-forget: no completion will arrive.
@@ -229,6 +250,9 @@ class Orchestrator:
             registers = miss.registers if miss.kind is AccessKind.LOAD \
                 else ()
             miss_id = self.scoreboard.register_miss(core_id, registers)
+            if guestprof is not None:
+                guestprof.note_miss(miss_id, core_id, miss.pc,
+                                    miss.kind.value, miss.line_address)
             self.hierarchy.submit(miss_id, core_id, miss.line_address,
                                   _KIND_MAP[miss.kind])
             if miss.kind is AccessKind.IFETCH:
@@ -240,18 +264,26 @@ class Orchestrator:
     def _submit_aggregate(self, core_id: int, misses: list) -> None:
         """Send one instruction's load misses as an MCPU group
         (or singly when there is no group to form)."""
+        guestprof = self._guestprof
         if len(misses) == 1:
             miss = misses[0]
             miss_id = self.scoreboard.register_miss(core_id,
                                                     miss.registers)
+            if guestprof is not None:
+                guestprof.note_miss(miss_id, core_id, miss.pc,
+                                    miss.kind.value, miss.line_address)
             self.hierarchy.submit(miss_id, core_id, miss.line_address,
                                   RequestKind.LOAD)
             return
         member_ids = []
         lines = []
         for miss in misses:
-            member_ids.append(
-                self.scoreboard.register_miss(core_id, miss.registers))
+            member_id = self.scoreboard.register_miss(core_id,
+                                                      miss.registers)
+            if guestprof is not None:
+                guestprof.note_miss(member_id, core_id, miss.pc,
+                                    miss.kind.value, miss.line_address)
+            member_ids.append(member_id)
             lines.append(miss.line_address)
         self.hierarchy.submit_aggregate(tuple(member_ids), core_id,
                                         lines, RequestKind.LOAD)
@@ -870,6 +902,11 @@ class Orchestrator:
                 l1i=core.l1i.stats,
                 l1d=core.l1d.stats))
         telemetry = self.telemetry
+        guest_profile = None
+        if self._guestprof is not None:
+            guest_profile = self._guestprof.finalize(
+                self.scheduler.current_cycle, self._states,
+                memory=self.machine.memory)
         return SimulationResults(
             cycles=self.scheduler.current_cycle,
             instructions=total_instructions,
@@ -881,4 +918,5 @@ class Orchestrator:
             events_fired=self.scheduler.events_fired,
             activity=dict(sorted(self._activity.items())),
             timeseries=telemetry.sampler if telemetry else None,
-            latency=telemetry.latency if telemetry else None)
+            latency=telemetry.latency if telemetry else None,
+            guest_profile=guest_profile)

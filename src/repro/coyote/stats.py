@@ -11,6 +11,7 @@ from dataclasses import asdict, dataclass, field
 
 from repro.spike.l1cache import L1Stats
 from repro.sparta.statistics import StatSample, format_report
+from repro.telemetry.guestprof import GuestProfile
 from repro.telemetry.histogram import RequestLatencyRecorder
 from repro.telemetry.sampler import IntervalSampler
 
@@ -48,6 +49,7 @@ class SimulationResults:
     timeseries: IntervalSampler | None = None
     latency: RequestLatencyRecorder | None = None
     host_profile: dict | None = None
+    guest_profile: GuestProfile | None = None
     # Lazily-built full_name -> sample index over hierarchy_samples.
     _index: dict[str, StatSample] | None = field(
         default=None, init=False, repr=False, compare=False)
@@ -186,6 +188,8 @@ class SimulationResults:
             data["latency_histograms"] = self.latency.to_dict()
         if self.host_profile is not None:
             data["host_profile"] = self.host_profile
+        if self.guest_profile is not None:
+            data["guest_profile"] = self.guest_profile.to_dict()
         return data
 
     # -- reporting -------------------------------------------------------------

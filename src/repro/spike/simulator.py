@@ -43,6 +43,7 @@ class MissRequest:
     line_address: int
     kind: AccessKind
     registers: tuple = ()  # registers released when the miss completes
+    pc: int = 0            # faulting pc (guest-profile attribution)
 
 
 class StepStatus(enum.Enum):
@@ -105,6 +106,9 @@ class CoreModel:
         # fetch-miss *events* observed by :meth:`step`.
         self.fetch_stalls = 0
         self.instructions = 0
+        # Guest-profile hook: a CoreProfile when profiling is enabled,
+        # None otherwise (the step pays one is-None test per retire).
+        self.profile = None
 
     def peek_registers(self) -> tuple:
         """Source+destination registers of the next instruction.
@@ -129,21 +133,25 @@ class CoreModel:
             return _HALTED_STEP
 
         hart = self.hart
+        pc = hart.pc
 
         # Instruction fetch through the L1I.
-        fetch_miss = self.l1i.access_fast(hart.pc, False)
+        fetch_miss = self.l1i.access_fast(pc, False)
         if fetch_miss is not None:
             self.fetch_stalls += 1
             fetch_line, fetch_writeback = fetch_miss
             misses = [MissRequest(self.core_id, fetch_line,
-                                  AccessKind.IFETCH)]
+                                  AccessKind.IFETCH, pc=pc)]
             if fetch_writeback is not None:
                 misses.append(MissRequest(self.core_id, fetch_writeback,
-                                          AccessKind.WRITEBACK))
+                                          AccessKind.WRITEBACK, pc=pc))
             return CoreStep(StepStatus.FETCH_MISS, misses=misses)
 
         instr = hart.step()
         self.instructions += 1
+        profile = self.profile
+        if profile is not None:
+            profile.retire(pc, instr)
 
         # Classify this step's data accesses, coalescing per cache line:
         # a repeated (line, kind) pair within one instruction (e.g. a
@@ -181,11 +189,11 @@ class CoreModel:
                     if misses is None:
                         misses = []
                     misses.append(MissRequest(core_id, line,
-                                              kind, registers))
+                                              kind, registers, pc=pc))
                     if result[1] is not None:
                         misses.append(MissRequest(
                             core_id, result[1],
-                            AccessKind.WRITEBACK))
+                            AccessKind.WRITEBACK, pc=pc))
                 line += line_bytes
 
         event = self.machine.check_htif(accesses, hart)

@@ -10,11 +10,21 @@ Four collectors, all disabled by default and wired through
 * :class:`~repro.telemetry.chrome_trace.ChromeTraceBuilder` — Chrome
   trace-event JSON export (Perfetto / ``chrome://tracing``);
 * :class:`~repro.telemetry.profiler.HostProfiler` — host wall-time
-  breakdown and a progress heartbeat.
+  breakdown and a progress heartbeat;
+* :class:`~repro.telemetry.guestprof.GuestProfiler` — guest-side
+  introspection: CPI stacks, hot-block profiles, per-PC and per-line
+  miss attribution (docs/OBSERVABILITY.md, "Guest profiling").
 """
 
 from repro.telemetry.chrome_trace import ChromeTraceBuilder
 from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.guestprof import (
+    CpiStack,
+    GuestProfile,
+    GuestProfiler,
+    HotBlock,
+    ProfileError,
+)
 from repro.telemetry.histogram import LatencyHistogram, \
     RequestLatencyRecorder
 from repro.telemetry.hub import Telemetry
@@ -23,10 +33,15 @@ from repro.telemetry.sampler import Interval, IntervalSampler, Snapshot
 
 __all__ = [
     "ChromeTraceBuilder",
+    "CpiStack",
+    "GuestProfile",
+    "GuestProfiler",
     "HostProfiler",
+    "HotBlock",
     "Interval",
     "IntervalSampler",
     "LatencyHistogram",
+    "ProfileError",
     "RequestLatencyRecorder",
     "Snapshot",
     "Telemetry",

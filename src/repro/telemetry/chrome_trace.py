@@ -70,6 +70,15 @@ class ChromeTraceBuilder:
         self.events.append({"ph": "i", "name": "halt", "pid": CORE_PID,
                             "tid": core_id, "ts": cycle, "s": "t"})
 
+    def counter(self, name: str, cycle: int, values: dict,
+                tid: int = 0) -> None:
+        """Emit one sample on a counter track (``"C"`` phase); viewers
+        render consecutive samples of the same name as stacked area
+        series (used for the guest profiler's stall-class tracks)."""
+        self.events.append({"ph": "C", "name": name, "pid": CORE_PID,
+                            "tid": tid, "ts": cycle,
+                            "args": dict(values)})
+
     def instant(self, name: str, cycle: int,
                 args: dict | None = None) -> None:
         """Drop a global instant marker (fault injections, watchdog

@@ -36,6 +36,11 @@ class TelemetryConfig:
     host_profile
         Measure the host wall-time breakdown: Spike stepping vs Sparta
         event advancing vs statistics collection.
+    guest_profile
+        Collect the guest-side performance profile: per-core CPI
+        stacks, the hot-block profile and per-PC / per-line miss
+        attribution (``repro.telemetry.guestprof``), surfaced as
+        ``SimulationResults.guest_profile``.
     """
 
     sample_interval: int = 0
@@ -44,6 +49,7 @@ class TelemetryConfig:
     progress: bool = False
     progress_cycles: int = 65536
     host_profile: bool = False
+    guest_profile: bool = False
 
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent settings."""
@@ -59,4 +65,4 @@ class TelemetryConfig:
         """True when any collector is switched on."""
         return bool(self.sample_interval or self.histograms
                     or self.chrome_trace or self.progress
-                    or self.host_profile)
+                    or self.host_profile or self.guest_profile)

@@ -14,6 +14,7 @@ from typing import Callable
 from repro.memhier.request import MemRequest
 from repro.telemetry.chrome_trace import ChromeTraceBuilder
 from repro.telemetry.config import TelemetryConfig
+from repro.telemetry.guestprof import GuestProfiler
 from repro.telemetry.histogram import RequestLatencyRecorder
 from repro.telemetry.profiler import HostProfiler
 from repro.telemetry.sampler import IntervalSampler
@@ -53,6 +54,9 @@ class Telemetry:
         self.profiler: HostProfiler | None = None
         if config.host_profile or config.progress:
             self.profiler = HostProfiler(config.progress_cycles)
+        self.guestprof: GuestProfiler | None = None
+        if config.guest_profile:
+            self.guestprof = GuestProfiler(num_cores, chrome=self.chrome)
 
     def request_sink(self) -> Callable[[MemRequest], None] | None:
         """A completed-request callback, or None when nothing listens."""

@@ -1,0 +1,110 @@
+"""Rendering for ``coyote-sim profile``: flat and annotated views.
+
+Separated from :mod:`repro.telemetry.guestprof` so the collector stays
+import-light (the orchestrator pulls it in on every profiled run; the
+CLI alone needs the formatting).  The JSON document written by
+``--json`` is versioned via :data:`PROFILE_SCHEMA` and checked by the
+CI ``profile-smoke`` job.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.guestprof import CPI_CLASSES, CpiStack, GuestProfile
+
+PROFILE_SCHEMA = "coyote-guest-profile/v1"
+
+
+def _stack_table(stack: CpiStack, title: str) -> list[str]:
+    lines = [f"-- {title} --",
+             f"{'class':<16}{'cycles':>14}{'share':>9}"]
+    cycles = stack.cycles or 1
+    for name in CPI_CLASSES:
+        value = stack.classes[name]
+        lines.append(f"{name:<16}{value:>14}{value / cycles:>8.1%}")
+    lines.append(f"{'total':<16}{stack.cycles:>14}{1:>8.0%}")
+    retired = stack.retired
+    cpi = f"{stack.cpi:.3f}" if retired else "inf"
+    lines.append(f"retired instructions {retired}, CPI {cpi}")
+    return lines
+
+
+def render_flat(profile: GuestProfile, top: int = 10,
+                per_core: bool = False) -> str:
+    """The flat report: CPI stack(s), hot blocks, hottest misses."""
+    cores = len(profile.stacks)
+    lines = _stack_table(
+        profile.aggregate(),
+        f"CPI stack (aggregate over {cores} core(s), "
+        f"{profile.cycles} cycles)")
+    if per_core:
+        for stack in profile.stacks:
+            lines.append("")
+            lines.extend(_stack_table(stack,
+                                      f"CPI stack (core {stack.core_id})"))
+
+    lines.append("")
+    shown = profile.top_blocks(top)
+    lines.append(f"-- hot blocks (top {len(shown)} of "
+                 f"{len(profile.blocks)}) --")
+    lines.append(f"{'start':>12}{'end':>12}{'instrs':>10}{'share':>8}"
+                 f"{'stall':>10}{'misses':>8}")
+    instructions = profile.instructions or 1
+    for block in shown:
+        lines.append(
+            f"{block.start_pc:>#12x}{block.end_pc:>#12x}"
+            f"{block.instructions:>10}"
+            f"{block.instructions / instructions:>7.1%}"
+            f"{block.stall_cycles:>10}{block.misses:>8}")
+
+    hottest = sorted(profile.pc_misses.items(),
+                     key=lambda item: (-item[1]["stall_cycles"],
+                                       item[0]))[:top]
+    if hottest:
+        lines.append("")
+        lines.append(f"-- miss PCs (top {len(hottest)} by stall "
+                     f"cycles) --")
+        lines.append(f"{'pc':>12}{'loads':>8}{'stores':>8}"
+                     f"{'ifetch':>8}{'stall':>10}")
+        for pc, events in hottest:
+            lines.append(f"{pc:>#12x}{events['loads']:>8}"
+                         f"{events['stores']:>8}{events['ifetches']:>8}"
+                         f"{events['stall_cycles']:>10}")
+    lines_hot = sorted(profile.line_misses.items(),
+                       key=lambda item: (-item[1], item[0]))[:top]
+    if lines_hot:
+        lines.append("")
+        lines.append(f"-- cache lines (top {len(lines_hot)} by "
+                     f"misses) --")
+        lines.append(f"{'line':>12}{'misses':>8}")
+        for line, count in lines_hot:
+            lines.append(f"{line:>#12x}{count:>8}")
+    return "\n".join(lines)
+
+
+def render_annotated(profile: GuestProfile, top: int = 10) -> str:
+    """Disassembly of the hottest blocks, one section per block."""
+    sections = []
+    for rank, block in enumerate(profile.top_blocks(top), start=1):
+        header = (f"-- block #{rank}: {block.start_pc:#x}.."
+                  f"{block.end_pc:#x} ({block.instructions} retired, "
+                  f"{block.stall_cycles} stall cycles, "
+                  f"{block.misses} misses) --")
+        if block.disassembly is None:
+            sections.append(header + "\n  (not annotated)")
+        else:
+            sections.append("\n".join([header, *block.disassembly]))
+    if not sections:
+        return "(no blocks retired)"
+    return "\n\n".join(sections)
+
+
+def profile_document(profile: GuestProfile, *, kernel: str,
+                     cores: int, verified: bool | None) -> dict:
+    """The versioned ``--json`` document."""
+    return {
+        "schema": PROFILE_SCHEMA,
+        "kernel": kernel,
+        "cores": cores,
+        "verified": verified,
+        **profile.to_dict(),
+    }

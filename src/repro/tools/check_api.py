@@ -48,6 +48,10 @@ REQUIRED_FACADE_NAMES = (
     "QuarantinedPoint",
     "AttemptRecord",
     "DegradationEvent",
+    # guest-side performance introspection
+    "GuestProfile",
+    "CpiStack",
+    "HotBlock",
 )
 
 

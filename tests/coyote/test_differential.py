@@ -28,8 +28,10 @@ _SIZE = {
     "mlp-inference": 6, "histogram": 16,
 }
 
-# Fields that measure the host, not the simulation.
-_HOST_FIELDS = ("wall_seconds", "host_mips", "host_profile")
+# Fields that measure the host or observe the run without steering it
+# (the guest profile is checked digest-identical separately below).
+_HOST_FIELDS = ("wall_seconds", "host_mips", "host_profile",
+                "guest_profile")
 
 
 def _run(kernel, config_kwargs, reference):
@@ -75,6 +77,35 @@ def test_loops_identical_with_high_latency_fast_forward():
     _sim_fast, fast = _run("scalar-spmv", dict(kwargs), reference=False)
     assert fast == ref
     assert ref["activity"].get("0", 0) > 0  # gaps actually occurred
+
+
+def _run_profiled(reference):
+    from repro.telemetry import TelemetryConfig
+
+    workload = make_workload("scalar-spmv", cores=4,
+                             size=_SIZE["scalar-spmv"])
+    config = SimulationConfig.for_cores(
+        4, telemetry=TelemetryConfig(guest_profile=True))
+    simulation = Simulation(config, workload.program)
+    simulation.orchestrator.use_reference_loop = reference
+    data = simulation.run().to_dict()
+    profile = data.pop("guest_profile")
+    for field in _HOST_FIELDS:
+        data.pop(field, None)
+    return data, profile
+
+
+def test_loops_identical_with_guest_profiling():
+    ref, ref_profile = _run_profiled(reference=True)
+    fast, fast_profile = _run_profiled(reference=False)
+    assert fast == ref
+    # Both loops also attribute the profile identically.
+    assert fast_profile == ref_profile
+    # And profiling observes without steering: the simulated outcome
+    # matches an unprofiled run bit for bit.
+    _sim, plain = _run("scalar-spmv", {"cores": 4}, reference=False)
+    assert fast == plain
+    assert _digest(fast) == _digest(plain)
 
 
 def test_traces_identical():

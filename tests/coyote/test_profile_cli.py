@@ -1,0 +1,66 @@
+"""The ``coyote-sim profile`` subcommand (flat, annotated, JSON)."""
+
+import json
+
+import pytest
+
+from repro.coyote.cli import EXIT_CONFIG, main as cli_main
+from repro.telemetry.profile_report import PROFILE_SCHEMA
+
+
+def test_profile_flat_report(capsys):
+    exit_code = cli_main(["profile", "--kernel", "scalar-spmv",
+                          "--cores", "2", "--size", "8"])
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.out
+    assert "output verified      : True" in captured.out
+    assert "CPI stack (aggregate over 2 core(s)" in captured.out
+    assert "hot blocks" in captured.out
+    assert "retired" in captured.out
+
+
+def test_profile_annotated_and_per_core(capsys):
+    exit_code = cli_main(["profile", "--kernel", "scalar-matmul",
+                          "--cores", "2", "--size", "6",
+                          "--annotate", "--per-core", "--top", "3"])
+    captured = capsys.readouterr()
+    assert exit_code == 0, captured.out
+    assert "CPI stack (core 1)" in captured.out
+    assert "block #1" in captured.out
+
+
+def test_profile_json_document(tmp_path, capsys):
+    out = tmp_path / "profile.json"
+    exit_code = cli_main(["profile", "--kernel", "scalar-spmv",
+                          "--cores", "2", "--size", "8",
+                          "--json", str(out)])
+    assert exit_code == 0, capsys.readouterr().out
+    document = json.loads(out.read_text())
+    assert document["schema"] == PROFILE_SCHEMA
+    assert document["kernel"] == "scalar-spmv"
+    assert document["verified"] is True
+    assert document["hot_blocks"]
+    for stack in document["cpi_stacks"]:
+        assert sum(stack["classes"].values()) == document["cycles"]
+
+
+def test_profile_chrome_trace(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    exit_code = cli_main(["profile", "--kernel", "scalar-spmv",
+                          "--cores", "2", "--size", "8",
+                          "--chrome-trace", str(out)])
+    assert exit_code == 0, capsys.readouterr().out
+    trace = json.loads(out.read_text())
+    assert any(event.get("ph") == "C"
+               for event in trace["traceEvents"])
+
+
+@pytest.mark.parametrize("argv", [
+    ["profile", "--json", "/nonexistent-dir/p.json"],
+    ["profile", "--top", "0"],
+])
+def test_profile_config_errors(argv, capsys):
+    exit_code = cli_main(argv)
+    captured = capsys.readouterr()
+    assert exit_code == EXIT_CONFIG
+    assert "configuration error" in captured.err
