@@ -3,10 +3,13 @@
 Runs a small set of representative workloads — a multi-core scalar
 matmul (loop-overhead bound) and high-memory-latency SpMV / vector
 matmul configurations (fast-forward bound) — and records host
-cycles/second and wall time via the existing host profiler.  Every run
-appends one trajectory entry to ``BENCH_hotloop.json`` at the repo
-root, so the hot loop's host performance over the project's history
-stays inspectable.
+cycles/second and wall time via the existing host profiler.  Each
+workload is additionally timed with the trace-compiled fast path
+disabled (``translate=False``), digest-checked against the translated
+run, and reported as ``translate_speedup``.  Every run appends one
+trajectory entry to ``BENCH_hotloop.json`` at the repo root, so the
+hot loop's host performance over the project's history stays
+inspectable.
 
 Usage (from the repo root)::
 
@@ -32,6 +35,7 @@ jitter.
 from __future__ import annotations
 
 import argparse
+import gc
 import hashlib
 import json
 import os
@@ -53,27 +57,30 @@ def _telemetry(profile: bool, guest: bool = False) -> TelemetryConfig:
 
 
 WORKLOADS = {
-    # Loop-overhead bound: eight cores live most cycles.
+    # Loop-overhead bound: eight cores live most cycles.  Size 48 keeps
+    # the per-core working set inside L1D while running long enough
+    # (~690k instructions) for the translated fast path to dominate the
+    # measurement instead of warm-up.
     "matmul-8core": (
-        lambda: scalar_matmul(size=16, num_cores=8),
-        lambda profile=False, guest=False: SimulationConfig.for_cores(
-            8, telemetry=_telemetry(profile, guest)),
+        lambda: scalar_matmul(size=48, num_cores=8),
+        lambda profile=False, guest=False, **kw: SimulationConfig.for_cores(
+            8, telemetry=_telemetry(profile, guest), **kw),
     ),
     # Fast-forward bound: long all-stalled gaps between events.
     "spmv-1core-himem": (
         lambda: scalar_spmv(num_rows=24, num_cores=1),
-        lambda profile=False, guest=False: SimulationConfig.for_cores(
-            1, mem_latency=3000, telemetry=_telemetry(profile, guest)),
+        lambda profile=False, guest=False, **kw: SimulationConfig.for_cores(
+            1, mem_latency=3000, telemetry=_telemetry(profile, guest), **kw),
     ),
     "spmv-2core-himem": (
         lambda: scalar_spmv(num_rows=24, num_cores=2),
-        lambda profile=False, guest=False: SimulationConfig.for_cores(
-            2, mem_latency=3000, telemetry=_telemetry(profile, guest)),
+        lambda profile=False, guest=False, **kw: SimulationConfig.for_cores(
+            2, mem_latency=3000, telemetry=_telemetry(profile, guest), **kw),
     ),
     "vmatmul-1core-himem": (
         lambda: vector_matmul(size=12, num_cores=1),
-        lambda profile=False, guest=False: SimulationConfig.for_cores(
-            1, mem_latency=2000, telemetry=_telemetry(profile, guest)),
+        lambda profile=False, guest=False, **kw: SimulationConfig.for_cores(
+            1, mem_latency=2000, telemetry=_telemetry(profile, guest), **kw),
     ),
 }
 
@@ -90,33 +97,69 @@ def _results_digest(results) -> str:
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+def _timed_run(name: str, make_workload, config, reference: bool):
+    """One timed simulation; returns ``(wall_seconds, results)``."""
+    simulation = Simulation(config, make_workload().program)
+    simulation.orchestrator.use_reference_loop = reference
+    # Collect before starting the clock so this measurement is not
+    # charged for garbage the previous (interleaved) series left
+    # behind; GC stays enabled inside the timed region.
+    gc.collect()
+    start = time.perf_counter()
+    results = simulation.run()
+    wall = time.perf_counter() - start
+    if not results.succeeded():
+        raise SystemExit(f"{name}: non-zero exit")
+    return wall, results
+
+
 def run_workload(name: str, reps: int, reference: bool = False) -> dict:
     """Best-of-``reps`` timing of one workload; returns its record.
 
     Timing repetitions run with telemetry disabled so the measurement
     is of the bare hot loop; one extra run with the host profiler
-    enabled captures the Spike/Sparta wall-time breakdown.
+    enabled captures the Spike/Sparta wall-time breakdown.  Each rep
+    interleaves the translated, interpreter and guest-profiled series
+    (rather than running each series back to back) so host frequency
+    drift hits all three alike and the best-of ratios stay honest.
+    All series must produce bit-identical simulated outcomes; any
+    divergence aborts the harness.
     """
     make_workload, make_config = WORKLOADS[name]
     best = None
+    interp_wall = None
+    guest_wall = None
     for _ in range(reps):
-        workload = make_workload()
-        simulation = Simulation(make_config(), workload.program)
-        simulation.orchestrator.use_reference_loop = reference
-        start = time.perf_counter()
-        results = simulation.run()
-        wall = time.perf_counter() - start
-        if not results.succeeded():
-            raise SystemExit(f"{name}: non-zero exit")
+        wall, results = _timed_run(name, make_workload, make_config(),
+                                   reference)
         if best is None or wall < best["wall_seconds"]:
             best = {
                 "wall_seconds": round(wall, 6),
+                "timing_reps": reps,
                 "cycles": results.cycles,
                 "instructions": results.instructions,
                 "cycles_per_sec": round(results.cycles / wall, 1),
                 "host_mips": round(results.host_mips, 4),
                 "digest": _results_digest(results),
             }
+        if not reference:
+            wall, results = _timed_run(
+                name, make_workload, make_config(translate=False),
+                reference)
+            if _results_digest(results) != best["digest"]:
+                raise SystemExit(
+                    f"{name}: interpreter run diverged from translated")
+            if interp_wall is None or wall < interp_wall:
+                interp_wall = wall
+        # Guest-profiling overhead: digest-checked against the
+        # unprofiled run (profiling must observe, never steer).
+        wall, results = _timed_run(name, make_workload,
+                                   make_config(guest=True), reference)
+        if _results_digest(results) != best["digest"]:
+            raise SystemExit(
+                f"{name}: guest-profiled run diverged from unprofiled")
+        if guest_wall is None or wall < guest_wall:
+            guest_wall = wall
 
     profiled = Simulation(make_config(profile=True),
                           make_workload().program)
@@ -125,25 +168,12 @@ def run_workload(name: str, reps: int, reference: bool = False) -> dict:
     best["spike_seconds"] = round(profile.get("spike_seconds", 0.0), 6)
     best["sparta_seconds"] = round(profile.get("sparta_seconds", 0.0), 6)
 
-    # Guest-profiling overhead: best-of timing with the guest profiler
-    # on, digest-checked against the unprofiled run (profiling must
-    # observe, never steer).  Tracked in the trajectory so the
-    # zero-cost-when-disabled baseline and the enabled cost both stay
-    # inspectable over time.
-    guest_wall = None
-    for _ in range(reps):
-        workload = make_workload()
-        simulation = Simulation(make_config(guest=True),
-                                workload.program)
-        simulation.orchestrator.use_reference_loop = reference
-        start = time.perf_counter()
-        results = simulation.run()
-        wall = time.perf_counter() - start
-        if _results_digest(results) != best["digest"]:
-            raise SystemExit(
-                f"{name}: guest-profiled run diverged from unprofiled")
-        if guest_wall is None or wall < guest_wall:
-            guest_wall = wall
+    if interp_wall is not None:
+        best["interpreter_wall_seconds"] = round(interp_wall, 6)
+        best["interpreter_host_mips"] = round(
+            best["instructions"] / interp_wall / 1e6, 4)
+        best["translate_speedup"] = round(
+            interp_wall / best["wall_seconds"], 3)
     best["profiled_wall_seconds"] = round(guest_wall, 6)
     best["profiled_overhead_pct"] = round(
         (guest_wall - best["wall_seconds"])
@@ -168,6 +198,7 @@ def run_suite(names, reps: int, compare_reference: bool) -> dict:
                 f"{record['wall_seconds']:.3f}s "
                 f"({record['cycles_per_sec']:,.0f} cycles/s, "
                 f"{record['host_mips']:.3f} MIPS, "
+                f"translate {record['translate_speedup']:.2f}x, "
                 f"profiled {record['profiled_overhead_pct']:+.1f}%)")
         if compare_reference:
             line += f"  speedup vs reference: " \

@@ -158,6 +158,12 @@ def run(kernel, cores: int = 8, *, size: int | None = None,
     ``profile=True`` switches on the guest profiler; the finished
     :class:`GuestProfile` is ``outcome.guest_profile`` and the
     simulated outcome is bit-identical to an unprofiled run.
+
+    The trace-compiled ISS fast path is on by default; pass
+    ``translate=False`` (a ``SimulationConfig`` field, so also a
+    keyword override here) to run the plain interpreter instead.  The
+    two produce bit-identical simulated outcomes — the switch only
+    trades host speed for debuggability.
     """
     workload = _resolve_workload(kernel, cores, size)
     if config is None:

@@ -90,6 +90,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="memory access latency in cycles")
     parser.add_argument("--vlen", type=int, default=512,
                         help="vector register length in bits")
+    parser.add_argument("--no-translate", action="store_true",
+                        help="disable the trace-compiled ISS fast path "
+                             "and run the plain interpreter (simulated "
+                             "outcomes are identical either way; this "
+                             "only trades host speed for debuggability)")
     parser.add_argument("--trace", metavar="BASEPATH", default=None,
                         help="write a Paraver .prv/.pcf/.row miss trace")
     parser.add_argument("--hierarchy-stats", action="store_true",
@@ -562,6 +567,8 @@ def main(argv: list[str] | None = None) -> int:
                 config = SimulationConfig.load(args.config)
                 if args.trace is not None:
                     config.trace_misses = True
+                if args.no_translate:
+                    config.translate = False
                 cores = config.num_cores
             else:
                 config = SimulationConfig.for_cores(
@@ -570,6 +577,7 @@ def main(argv: list[str] | None = None) -> int:
                     noc_latency=args.noc_latency,
                     mem_latency=args.mem_latency,
                     vlen_bits=args.vlen,
+                    translate=not args.no_translate,
                     trace_misses=args.trace is not None)
             resilience = config.resilience
             if args.inject is not None:

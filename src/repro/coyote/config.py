@@ -33,6 +33,10 @@ class SimulationConfig:
     vlen_bits: int = 512
     max_cycles: int = 200_000_000
     trace_misses: bool = False
+    # Trace-compiled ISS fast path (repro.spike.translate).  Bit-exact
+    # with the interpreter by construction and proven so differentially;
+    # ``translate=False`` opts out for debugging comparisons.
+    translate: bool = True
 
     def __post_init__(self) -> None:
         self.validate()
@@ -187,6 +191,9 @@ class ConfigBuilder:
 
     def trace_misses(self, enabled: bool = True) -> "ConfigBuilder":
         return self.set(trace_misses=enabled)
+
+    def translate(self, enabled: bool = True) -> "ConfigBuilder":
+        return self.set(translate=enabled)
 
     def telemetry(self, telemetry: TelemetryConfig) -> "ConfigBuilder":
         return self.set(telemetry=telemetry)

@@ -53,6 +53,7 @@ from repro.resilience.watchdog import Watchdog, deadlock_error
 from repro.spike.hart import EnvironmentCall, Trap
 from repro.spike.machine import BareMetalMachine
 from repro.spike.scoreboard import Scoreboard
+from repro.spike.translate import MAX_BLOCK, BlockTranslator
 from repro.spike.simulator import (
     CLEAN_STEP,
     AccessKind,
@@ -112,6 +113,25 @@ class Orchestrator:
         cycle_source = _SchedulerCycleSource(self.scheduler)
         for hart in self.machine.harts:
             hart.cycle_source = cycle_source
+        # Trace-compiled fast path: per-core translated-block caches,
+        # dispatched by _cycle_loop (never by the reference loop, which
+        # is what the differential tests compare against).  Each
+        # translator registers itself with the machine's
+        # CodeCacheRegistry for store invalidation and with its hart
+        # for drop_code_caches().
+        self.translators = None
+        if config.translate:
+            self.translators = [BlockTranslator(core, self.machine)
+                                for core in self.cores]
+        # Per-core "skip until" cycle for the multicore micro-block
+        # dispatch: a core whose dispatched micro-block covered cycles
+        # [c, c+n) already holds the architectural state of cycle c+n-1,
+        # so the lockstep loop skips it until then.  Persisted across
+        # pause/resume (a checkpoint can land mid-micro-block).
+        self._resume_at = [0] * config.num_cores
+        # Incremented by every successful _wake; the dispatch-gap jump
+        # compares it across advance_cycle to prove no core became due.
+        self._wake_epoch = 0
         self.hierarchy = MemoryHierarchy(config.memhier, self.scheduler)
         self.hierarchy.on_complete = self._on_request_complete
         self.scoreboard = Scoreboard(config.num_cores)
@@ -222,6 +242,7 @@ class Orchestrator:
     def _wake(self, core_id: int) -> None:
         if not self.cores[core_id].halted \
                 and core_id not in self._active_set:
+            self._wake_epoch += 1
             self._active_set.add(core_id)
             insort(self._active_list, core_id)
             if self._chrome is not None:
@@ -385,6 +406,50 @@ class Orchestrator:
         # the pre-step decode entirely (the common case on hit streaks).
         busy_maps = [self.scoreboard.busy_map(core_id)
                      for core_id in range(config.num_cores)]
+        # Translated-block dispatch state, hoisted per core.  The cache
+        # dicts are mutated in place by invalidation, so holding them in
+        # locals is safe; ``None`` disables the fast path entirely.
+        translators = self.translators
+        resume = getattr(self, "_resume_at", None)
+        if resume is None:  # checkpoint from an older layout
+            resume = self._resume_at = [0] * config.num_cores
+        if not hasattr(self, "_wake_epoch"):  # ditto
+            self._wake_epoch = 0
+        if translators is not None:
+            tcaches = [translator.cache for translator in translators]
+            ucaches = [translator.ucache for translator in translators]
+            harts = [core.hart for core in cores]
+            istats = [core.l1i.stats for core in cores]
+            # Block functions return how many instructions they retired
+            # but do not touch the pure counters (translate.py module
+            # docstring); the loop accrues the counts here and flushes
+            # them wherever they become observable.
+            credit = [0] * config.num_cores
+            ugets = [ucache.get for ucache in ucaches]
+            ufgets = [translator.ufast.get for translator in translators]
+        else:
+            tcaches = ucaches = harts = istats = credit = None
+            ugets = ufgets = None
+
+        def flush_credits(single: int | None = None) -> None:
+            """Settle accrued instruction counts into ``hart.instret``,
+            ``core.instructions``, L1I read statistics and the loop's
+            running total — for one core (before its interpreter step,
+            which may read ``instret`` via a CSR) or for all (telemetry
+            samples, loop exits).  Dispatch paths accrue ``credit`` only;
+            everything downstream of a flush point sees exact counts."""
+            nonlocal total_instructions
+            if credit is None:
+                return
+            for cid in ((single,) if single is not None
+                        else range(config.num_cores)):
+                n = credit[cid]
+                if n:
+                    credit[cid] = 0
+                    harts[cid].instret += n
+                    cores[cid].instructions += n
+                    istats[cid].reads += n
+                    total_instructions += n
         advance_cycle = scheduler.advance_cycle
         next_event_cycle = scheduler.next_event_cycle
         max_cycles = config.max_cycles
@@ -399,6 +464,14 @@ class Orchestrator:
         # checkpoints; the interval sampler needs its per-cycle boundary
         # checks, so its presence disables the batch.
         run_ahead = sampler is None
+        base_limit = MAX_BLOCK if run_ahead else 1
+        _FAR = 1 << 62  # "no core becomes due" sentinel for min_due
+        tint = int
+        ring = None  # due-ring slots, allocated by the first batch
+        # One flag folds the four per-cycle telemetry checks; all of the
+        # observers need the instruction credits settled first.
+        tail_hooks = (sampler is not None or heartbeat is not None
+                      or watchdog is not None or invariants is not None)
         executed = StepStatus.EXECUTED
         fetch_miss = StepStatus.FETCH_MISS
         clean_step = CLEAN_STEP
@@ -412,9 +485,11 @@ class Orchestrator:
         while remaining_cores:
             now = scheduler.current_cycle
             if pause_at is not None and now >= pause_at:
+                flush_credits()
                 self.paused = True
                 break
             if now >= max_cycles:
+                flush_credits()
                 raise SimulationError(
                     f"cycle budget exhausted ({max_cycles})",
                     current_cycle=now, max_cycles=max_cycles,
@@ -426,6 +501,7 @@ class Orchestrator:
                 # wake anyone).
                 next_event = next_event_cycle()
                 if next_event is None:
+                    flush_credits()
                     stalled = [core.core_id for core in cores
                                if not core.halted]
                     raise deadlock_error(
@@ -442,6 +518,7 @@ class Orchestrator:
                     else:
                         activity[0] = activity.get(0, 0) + pause_at - now
                     scheduler.advance_to(pause_at)
+                    flush_credits()
                     self.paused = True
                     break
                 if activity_counts is not None:
@@ -454,21 +531,24 @@ class Orchestrator:
                 advance_cycle()
                 if profiler is not None:
                     profiler.sparta_seconds += clock() - section_start
-                if sampler is not None:
-                    sampler.maybe_sample(scheduler.current_cycle)
-                if heartbeat is not None:
-                    heartbeat.maybe_heartbeat(scheduler.current_cycle,
-                                              total_instructions,
-                                              scheduler.events_fired)
-                if watchdog is not None:
-                    watchdog.observe(scheduler.current_cycle,
-                                     total_instructions,
-                                     scheduler.events_fired)
-                if invariants is not None:
-                    invariants.maybe_check(scheduler.current_cycle)
+                if tail_hooks:
+                    flush_credits()
+                    if sampler is not None:
+                        sampler.maybe_sample(scheduler.current_cycle)
+                    if heartbeat is not None:
+                        heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                                  total_instructions,
+                                                  scheduler.events_fired)
+                    if watchdog is not None:
+                        watchdog.observe(scheduler.current_cycle,
+                                         total_instructions,
+                                         scheduler.events_fired)
+                    if invariants is not None:
+                        invariants.maybe_check(scheduler.current_cycle)
                 continue
 
-            if run_ahead and len(active_list) == 1:
+            if run_ahead and len(active_list) == 1 \
+                    and resume[active_list[0]] <= now:
                 next_event = next_event_cycle()
                 bound = max_cycles if next_event is None \
                     else min(next_event, max_cycles)
@@ -486,6 +566,13 @@ class Orchestrator:
                     peek = core.peek_registers
                     step = core.step
                     busy = busy_maps[core_id]
+                    if translators is not None:
+                        hart = harts[core_id]
+                        fns = tcaches[core_id]
+                        fns_get = fns.get
+                        translate = translators[core_id].translate
+                    else:
+                        fns_get = None
                     if profiler is not None:
                         section_start = clock()
                     batch_cycles = 0
@@ -513,6 +600,59 @@ class Orchestrator:
                             now += 1
                             scheduler.current_cycle = now
                             break
+                        if fns_get is not None and not busy:
+                            # Translated sprint: dispatch whole blocks
+                            # back to back while the budget allows.  The
+                            # busy map cannot change mid-sprint (no
+                            # completion fires before ``bound``), so the
+                            # no-RAW gate above covers every sprinted
+                            # instruction; any event exits the sprint.
+                            fn = fns_get(hart.pc)
+                            if fn is None:
+                                fn = translate(hart.pc)
+                            if fn is not False:
+                                result = fn(bound - now)
+                                if result is None:
+                                    span = bound - now
+                                    credit[core_id] += span
+                                    batch_cycles += span
+                                    now = bound
+                                    scheduler.current_cycle = now
+                                    continue
+                                if type(result) is int:
+                                    credit[core_id] += result
+                                    batch_cycles += result
+                                    now += result
+                                    scheduler.current_cycle = now
+                                    continue
+                                span = result.executed
+                                if span:
+                                    # Last instruction missed and/or
+                                    # halted at cycle ``now + span - 1``.
+                                    credit[core_id] += span
+                                    batch_cycles += span
+                                    now += span - 1
+                                    scheduler.current_cycle = now
+                                    if result.misses:
+                                        self._submit_misses(core_id,
+                                                            result.misses)
+                                    if core.halted:
+                                        state.halt_cycle = now
+                                        if active_list and \
+                                                active_list[0] == core_id:
+                                            del active_list[0]
+                                            active_set.remove(core_id)
+                                        remaining_cores -= 1
+                                        if chrome is not None:
+                                            chrome.halt(core_id, now)
+                                    advance_cycle()
+                                    break
+                                # Zero progress (fetch miss or
+                                # untranslatable): one interpreter step.
+                        # The step may read instret (rdinstret CSR):
+                        # settle this core's accrued count first.
+                        if credit is not None and credit[core_id]:
+                            flush_credits(core_id)
                         try:
                             outcome = step()
                         except EnvironmentCall:
@@ -570,6 +710,7 @@ class Orchestrator:
                             break
                         now += 1
                         scheduler.current_cycle = now
+                    flush_credits(core_id)
                     activity_counts[1] += batch_cycles
                     if profiler is not None:
                         profiler.spike_seconds += clock() - section_start
@@ -585,7 +726,354 @@ class Orchestrator:
                         invariants.maybe_check(scheduler.current_cycle)
                     continue
 
+            if run_ahead and ucaches is not None and not tail_hooks \
+                    and len(active_list) > 1:
+                next_event = next_event_cycle()
+                bound = max_cycles if next_event is None \
+                    else min(next_event, max_cycles)
+                if pause_at is not None and pause_at < bound:
+                    bound = pause_at
+                if bound > now:
+                    # Multicore run-ahead batch: no event, pause point or
+                    # budget boundary before ``bound`` and no per-cycle
+                    # observer is live, so only the cycles where some
+                    # core is due need a visit.  A private due-ring
+                    # (cycle -> sorted core ids) drives those visits;
+                    # between them every live core is mid-micro-block
+                    # and the scheduler queue is silent, so advancing
+                    # the clock is a bare assignment (same equivalence
+                    # argument as the dispatch-gap jump).  The ring is
+                    # seeded from ``resume`` and simply discarded on
+                    # every exit — ``resume`` stays authoritative, so
+                    # the per-cycle path picks up seamlessly.
+                    if profiler is not None:
+                        section_start = clock()
+                    # Slot ``cycle & 127``: dispatch returns are capped
+                    # at MAX_BLOCK (64) cycles ahead, so live entries
+                    # occupy at most 64 consecutive slots and can never
+                    # wrap onto each other.  The lists are reused across
+                    # batches (allocated once per loop invocation) and
+                    # left empty on every exit path.
+                    if ring is None:
+                        ring = [[] for _ in range(128)]
+                    live = len(active_list)
+                    for core_id in active_list:
+                        cycle = resume[core_id]
+                        if cycle < now:
+                            cycle = now
+                        ring[cycle & 127].append(core_id)
+                    # Busy maps only change at batch exits (submissions
+                    # end the batch; completions need events), so one
+                    # entry check covers every dispatch inside.
+                    check_busy = False
+                    for core_id in active_list:
+                        if busy_maps[core_id]:
+                            check_busy = True
+                            break
+                    while True:
+                        todo = ring[now & 127]
+                        if not todo:
+                            # Gap: scan the (at most 64-slot) window for
+                            # the next due cycle; an empty window means
+                            # every core stalled or halted mid-batch.
+                            nxt = now + 1
+                            stop = now + 65
+                            if bound < stop:
+                                stop = bound
+                            while nxt < stop and not ring[nxt & 127]:
+                                nxt += 1
+                            if nxt >= bound:
+                                activity_counts[live] += bound - now
+                                now = bound
+                                scheduler.current_cycle = now
+                                break
+                            if not ring[nxt & 127]:
+                                scheduler.current_cycle = now
+                                break  # ring empty; head handles it
+                            activity_counts[live] += nxt - now
+                            now = nxt
+                            continue
+                        activity_counts[live] += 1
+                        # Slots fill by appends from different source
+                        # cycles; restore ascending core order before
+                        # dispatching (determinism).
+                        if len(todo) > 1:
+                            todo.sort()
+                        submitted = False
+                        if not check_busy:
+                            # Lean regime: no core has pending fills, so
+                            # the RAW gate is vacuous and every dispatch
+                            # gets the full budget — unchecked twins
+                            # only, which never return ``None``.  Twin
+                            # of the guarded regime below; keep the exit
+                            # handling in sync.
+                            for core_id in todo:
+                                fn = ufgets[core_id](harts[core_id].pc)
+                                if fn is None:
+                                    translators[core_id].translate_uop(
+                                        harts[core_id].pc)
+                                    fn = ufgets[core_id](
+                                        harts[core_id].pc)
+                                result = fn()
+                                if result.__class__ is tint:
+                                    # ``resume`` is settled lazily by
+                                    # the batch-exit ring scan.
+                                    credit[core_id] += result
+                                    ring[(now + result) & 127].append(
+                                        core_id)
+                                    continue
+                                if result.executed:
+                                    credit[core_id] += 1
+                                    if result.misses:
+                                        scheduler.current_cycle = now
+                                        self._submit_misses(
+                                            core_id, result.misses)
+                                        submitted = True
+                                    if cores[core_id].halted:
+                                        states[core_id].halt_cycle = now
+                                        active_list.remove(core_id)
+                                        active_set.remove(core_id)
+                                        remaining_cores -= 1
+                                        live -= 1
+                                        if chrome is not None:
+                                            chrome.halt(core_id, now)
+                                        continue
+                                    if not submitted:
+                                        ring[(now + 1) & 127].append(
+                                            core_id)
+                                    continue
+                                # Zero progress or untranslatable:
+                                # interpreter step.
+                                scheduler.current_cycle = now
+                                core = cores[core_id]
+                                if credit[core_id]:
+                                    flush_credits(core_id)
+                                try:
+                                    outcome = core.step()
+                                except EnvironmentCall:
+                                    machine.exit_codes[core_id] = \
+                                        core.hart.regs[10]
+                                    core.halted = True
+                                    outcome = None
+                                except Trap as exc:
+                                    raise SimulationError(
+                                        f"core {core_id}: {exc}") from exc
+                                removed = False
+                                rerun = True
+                                if outcome is not None \
+                                        and outcome is not clean_step:
+                                    status = outcome.status
+                                    if status is executed:
+                                        total_instructions += 1
+                                        if outcome.misses:
+                                            self._submit_misses(
+                                                core_id, outcome.misses)
+                                            submitted = True
+                                            rerun = False
+                                    elif status is fetch_miss:
+                                        fetch_id = self._submit_misses(
+                                            core_id, outcome.misses)
+                                        state = states[core_id]
+                                        state.waiting_fetch_id = fetch_id
+                                        state.stall_start = now
+                                        fetch_waits[fetch_id] = core_id
+                                        active_list.remove(core_id)
+                                        active_set.remove(core_id)
+                                        submitted = True
+                                        removed = True
+                                        live -= 1
+                                        if chrome is not None:
+                                            chrome.set_state(
+                                                core_id, FETCH_STALL,
+                                                now)
+                                elif outcome is clean_step:
+                                    total_instructions += 1
+                                if core.halted:
+                                    states[core_id].halt_cycle = now
+                                    if not removed:
+                                        active_list.remove(core_id)
+                                        active_set.remove(core_id)
+                                        removed = True
+                                        live -= 1
+                                    remaining_cores -= 1
+                                    if chrome is not None:
+                                        chrome.halt(core_id, now)
+                                if not removed and rerun:
+                                    ring[(now + 1) & 127].append(core_id)
+                            todo.clear()
+                            if submitted:
+                                advance_cycle()
+                                break
+                            now += 1
+                            if now >= bound:
+                                scheduler.current_cycle = now
+                                break
+                            continue
+                        for core_id in todo:
+                            hart = harts[core_id]
+                            if busy_maps[core_id]:
+                                core = cores[core_id]
+                                try:
+                                    registers = core.peek_registers()
+                                except Trap as exc:
+                                    raise SimulationError(
+                                        f"core {core_id}: {exc}"
+                                    ) from exc
+                                if blocks(core_id, registers):
+                                    active_list.remove(core_id)
+                                    active_set.remove(core_id)
+                                    raw_waiting.add(core_id)
+                                    states[core_id].stall_start = now
+                                    live -= 1
+                                    if chrome is not None:
+                                        chrome.set_state(
+                                            core_id, RAW_STALL, now)
+                                    continue
+                                # Pending fills: one instruction per
+                                # cycle keeps the no-RAW gate tight.
+                                limit = 1
+                            else:
+                                limit = MAX_BLOCK
+                            # Guarded dispatches are rare; the checked
+                            # variant serves both limits.
+                            fn = ugets[core_id](hart.pc)
+                            if fn is None:
+                                fn = translators[core_id].translate_uop(
+                                    hart.pc)
+                            if fn is not False:
+                                result = fn(limit)
+                                if type(result) is int:
+                                    credit[core_id] += result
+                                    ring[(now + result) & 127].append(
+                                        core_id)
+                                    continue
+                                if result is None:
+                                    credit[core_id] += limit
+                                    ring[(now + limit) & 127].append(
+                                        core_id)
+                                    continue
+                                if result.executed:
+                                    # One instruction retired; misses
+                                    # and halts only at instruction 0.
+                                    credit[core_id] += 1
+                                    if result.misses:
+                                        # The clock is advanced lazily;
+                                        # settle it before events enter
+                                        # the scheduler.
+                                        scheduler.current_cycle = now
+                                        self._submit_misses(
+                                            core_id, result.misses)
+                                        # New events: end the batch at
+                                        # this cycle's boundary.  The
+                                        # core's stale resume (<= now)
+                                        # keeps it due next cycle.
+                                        submitted = True
+                                    if cores[core_id].halted:
+                                        states[core_id].halt_cycle = now
+                                        active_list.remove(core_id)
+                                        active_set.remove(core_id)
+                                        remaining_cores -= 1
+                                        live -= 1
+                                        if chrome is not None:
+                                            chrome.halt(core_id, now)
+                                        continue
+                                    if not submitted:
+                                        ring[(now + 1) & 127].append(
+                                            core_id)
+                                    continue
+                                # Zero progress: interpreter step below.
+                            scheduler.current_cycle = now
+                            core = cores[core_id]
+                            # The step may read instret (rdinstret CSR):
+                            # settle this core's accrued count first.
+                            if credit[core_id]:
+                                flush_credits(core_id)
+                            try:
+                                outcome = core.step()
+                            except EnvironmentCall:
+                                machine.exit_codes[core_id] = \
+                                    core.hart.regs[10]
+                                core.halted = True
+                                outcome = None
+                            except Trap as exc:
+                                raise SimulationError(
+                                    f"core {core_id}: {exc}") from exc
+                            removed = False
+                            rerun = True
+                            if outcome is not None \
+                                    and outcome is not clean_step:
+                                status = outcome.status
+                                if status is executed:
+                                    total_instructions += 1
+                                    if outcome.misses:
+                                        self._submit_misses(
+                                            core_id, outcome.misses)
+                                        submitted = True
+                                        rerun = False
+                                elif status is fetch_miss:
+                                    fetch_id = self._submit_misses(
+                                        core_id, outcome.misses)
+                                    state = states[core_id]
+                                    state.waiting_fetch_id = fetch_id
+                                    state.stall_start = now
+                                    fetch_waits[fetch_id] = core_id
+                                    active_list.remove(core_id)
+                                    active_set.remove(core_id)
+                                    submitted = True
+                                    removed = True
+                                    live -= 1
+                                    if chrome is not None:
+                                        chrome.set_state(
+                                            core_id, FETCH_STALL, now)
+                            elif outcome is clean_step:
+                                total_instructions += 1
+                            if core.halted:
+                                states[core_id].halt_cycle = now
+                                if not removed:
+                                    active_list.remove(core_id)
+                                    active_set.remove(core_id)
+                                    removed = True
+                                    live -= 1
+                                remaining_cores -= 1
+                                if chrome is not None:
+                                    chrome.halt(core_id, now)
+                            if not removed and rerun:
+                                ring[(now + 1) & 127].append(core_id)
+                        todo.clear()
+                        if submitted:
+                            # End the cycle through the scheduler (a
+                            # submission may complete with zero latency)
+                            # and rebuild bounds at the loop head; the
+                            # submit sites already settled the clock.
+                            advance_cycle()
+                            break
+                        now += 1
+                        if now >= bound:
+                            scheduler.current_cycle = now
+                            break
+                    # Exit: settle ``resume`` from the ring (dispatches
+                    # defer the writes — mid-batch the ring itself is
+                    # the authority on who is due when) and leave every
+                    # slot empty for the next batch.  Live entries all
+                    # sit in [now, now + 64]: a bound break can leave
+                    # an unconsumed entry at exactly ``now`` (the gap
+                    # scan stops short of the bound slot), so the scan
+                    # must start there, not one past it.  A core that
+                    # left on an event at ``now`` has no entry and a
+                    # resume still <= now, which the per-cycle path
+                    # reads as "due immediately" — exactly right.
+                    for cycle in range(now, now + 65):
+                        bucket = ring[cycle & 127]
+                        if bucket:
+                            for core_id in bucket:
+                                resume[core_id] = cycle
+                            bucket.clear()
+                    if profiler is not None:
+                        profiler.spike_seconds += clock() - section_start
+                    continue
+
             active_now = len(active_list)
+
             if activity_counts is not None:
                 activity_counts[active_now] += 1
             else:
@@ -595,104 +1083,295 @@ class Orchestrator:
                 section_start = clock()
             index = 0
             count = active_now
-            while index < count:
-                core_id = active_list[index]
-                core = cores[core_id]
+            min_due = 0
+            if ucaches is None:
+                # Interpreter-only pass (``translate=False``).  A twin
+                # of the dispatching pass below — duplicated so the hot
+                # variant carries no per-visit mode checks; the RAW gate
+                # and the outcome handling must stay in sync.
+                while index < count:
+                    core_id = active_list[index]
+                    core = cores[core_id]
+                    busy = busy_maps[core_id]
 
-                # RAW check against pending misses (paper: the core is
-                # inactive until the dependency is satisfied).  Skipped
-                # outright while the core has no busy registers.
-                if busy_maps[core_id]:
+                    # RAW check against pending misses (paper: the core
+                    # is inactive until the dependency is satisfied).
+                    # Skipped outright with no busy registers.
+                    if busy:
+                        try:
+                            registers = core.peek_registers()
+                        except Trap as exc:
+                            raise SimulationError(
+                                f"core {core_id}: {exc}") from exc
+                        if blocks(core_id, registers):
+                            del active_list[index]
+                            count -= 1
+                            active_set.remove(core_id)
+                            raw_waiting.add(core_id)
+                            states[core_id].stall_start = now
+                            if chrome is not None:
+                                chrome.set_state(core_id, RAW_STALL, now)
+                            continue
+
                     try:
-                        registers = core.peek_registers()
+                        outcome = core.step()
+                    except EnvironmentCall:
+                        # Bare-metal convention: ecall halts the calling
+                        # hart with exit code a0.
+                        machine.exit_codes[core_id] = core.hart.regs[10]
+                        core.halted = True
+                        outcome = None
                     except Trap as exc:
                         raise SimulationError(
                             f"core {core_id}: {exc}") from exc
-                    if blocks(core_id, registers):
-                        del active_list[index]
-                        count -= 1
-                        active_set.remove(core_id)
-                        raw_waiting.add(core_id)
-                        states[core_id].stall_start = now
-                        if chrome is not None:
-                            chrome.set_state(core_id, RAW_STALL, now)
+
+                    if outcome is clean_step:
+                        # Executed, no misses, still running: nothing
+                        # else to record for this core this cycle.
+                        total_instructions += 1
+                        index += 1
                         continue
 
-                try:
-                    outcome = core.step()
-                except EnvironmentCall:
-                    # Bare-metal convention: ecall halts the calling hart
-                    # with exit code a0.
-                    machine.exit_codes[core_id] = core.hart.regs[10]
-                    core.halted = True
-                    outcome = None
-                except Trap as exc:
-                    raise SimulationError(
-                        f"core {core_id}: {exc}") from exc
+                    removed = False
+                    if outcome is not None:
+                        status = outcome.status
+                        if status is executed:
+                            total_instructions += 1
+                            if outcome.misses:
+                                self._submit_misses(core_id,
+                                                    outcome.misses)
+                        elif status is fetch_miss:
+                            fetch_id = self._submit_misses(
+                                core_id, outcome.misses)
+                            state = states[core_id]
+                            state.waiting_fetch_id = fetch_id
+                            state.stall_start = now
+                            fetch_waits[fetch_id] = core_id
+                            del active_list[index]
+                            count -= 1
+                            active_set.remove(core_id)
+                            removed = True
+                            if chrome is not None:
+                                chrome.set_state(core_id, FETCH_STALL,
+                                                 now)
 
-                if outcome is clean_step:
-                    # Executed, no misses, still running: nothing else
-                    # to record for this core this cycle.
-                    total_instructions += 1
-                    index += 1
-                    continue
-
-                removed = False
-                if outcome is not None:
-                    status = outcome.status
-                    if status is executed:
-                        total_instructions += 1
-                        if outcome.misses:
-                            self._submit_misses(core_id, outcome.misses)
-                    elif status is fetch_miss:
-                        fetch_id = self._submit_misses(core_id,
-                                                       outcome.misses)
-                        state = states[core_id]
-                        state.waiting_fetch_id = fetch_id
-                        state.stall_start = now
-                        fetch_waits[fetch_id] = core_id
-                        del active_list[index]
-                        count -= 1
-                        active_set.remove(core_id)
-                        removed = True
+                    if core.halted:
+                        states[core_id].halt_cycle = now
+                        if not removed:
+                            del active_list[index]
+                            count -= 1
+                            active_set.remove(core_id)
+                            removed = True
+                        remaining_cores -= 1
                         if chrome is not None:
-                            chrome.set_state(core_id, FETCH_STALL, now)
-
-                if core.halted:
-                    states[core_id].halt_cycle = now
+                            chrome.halt(core_id, now)
                     if not removed:
-                        del active_list[index]
-                        count -= 1
-                        active_set.remove(core_id)
-                        removed = True
-                    remaining_cores -= 1
-                    if chrome is not None:
-                        chrome.halt(core_id, now)
-                if not removed:
-                    index += 1
+                        index += 1
+            else:
+                # Dispatching pass: same visit order and per-cycle
+                # effects as the interpreter pass.  The translated
+                # micro-block's memory access (if any) is instruction 0,
+                # executed this cycle — every cross-core-visible effect
+                # lands on its exact lockstep cycle — and the register-
+                # private tail runs ahead, the resume skip covering its
+                # remaining cycles.  ``min_due`` tracks the earliest
+                # cycle any surviving core becomes due again (0 = due
+                # next cycle) and feeds the dispatch-gap jump after the
+                # pass.  Halted cores never appear here: every halt site
+                # removes the core and ``_wake`` refuses them.
+                min_due = _FAR
+                while index < count:
+                    core_id = active_list[index]
+                    due = resume[core_id]
+                    if due > now:
+                        # Mid-micro-block: the busy map stayed empty
+                        # (the dispatch required it empty and a miss
+                        # ends the micro-block), so no RAW or fetch
+                        # check applies until the next dispatch.
+                        if due < min_due:
+                            min_due = due
+                        index += 1
+                        continue
+                    busy = busy_maps[core_id]
+                    if busy:
+                        core = cores[core_id]
+                        try:
+                            registers = core.peek_registers()
+                        except Trap as exc:
+                            raise SimulationError(
+                                f"core {core_id}: {exc}") from exc
+                        if blocks(core_id, registers):
+                            del active_list[index]
+                            count -= 1
+                            active_set.remove(core_id)
+                            raw_waiting.add(core_id)
+                            states[core_id].stall_start = now
+                            if chrome is not None:
+                                chrome.set_state(core_id, RAW_STALL, now)
+                            continue
+                        # Pending fills: stay at one instruction per
+                        # cycle so the no-RAW gate covers every one.
+                        limit = 1
+                    else:
+                        limit = base_limit
+                    hart = harts[core_id]
+                    fn = ugets[core_id](hart.pc)
+                    if fn is None:
+                        fn = translators[core_id].translate_uop(hart.pc)
+                    if fn is not False:
+                        result = fn(limit)
+                        if result is None:
+                            credit[core_id] += limit
+                            if limit > 1:
+                                due = now + limit
+                                resume[core_id] = due
+                                if due < min_due:
+                                    min_due = due
+                            else:
+                                min_due = 0
+                            index += 1
+                            continue
+                        if type(result) is int:
+                            credit[core_id] += result
+                            if result > 1:
+                                due = now + result
+                                resume[core_id] = due
+                                if due < min_due:
+                                    min_due = due
+                            else:
+                                min_due = 0
+                            index += 1
+                            continue
+                        if result.executed:
+                            # Micro-blocks miss or halt only at
+                            # instruction 0, so exactly one instruction
+                            # retired on this cycle.
+                            credit[core_id] += 1
+                            min_due = 0
+                            if result.misses:
+                                self._submit_misses(core_id,
+                                                    result.misses)
+                            if cores[core_id].halted:
+                                states[core_id].halt_cycle = now
+                                del active_list[index]
+                                count -= 1
+                                active_set.remove(core_id)
+                                remaining_cores -= 1
+                                if chrome is not None:
+                                    chrome.halt(core_id, now)
+                                continue
+                            index += 1
+                            continue
+                        # Zero progress: interpreter step below handles
+                        # the fetch miss / untranslatable instruction.
+                    min_due = 0
+                    core = cores[core_id]
+                    # The step may read instret (rdinstret CSR): settle
+                    # this core's accrued count first.
+                    if credit[core_id]:
+                        flush_credits(core_id)
+                    try:
+                        outcome = core.step()
+                    except EnvironmentCall:
+                        # Bare-metal convention: ecall halts the calling
+                        # hart with exit code a0.
+                        machine.exit_codes[core_id] = core.hart.regs[10]
+                        core.halted = True
+                        outcome = None
+                    except Trap as exc:
+                        raise SimulationError(
+                            f"core {core_id}: {exc}") from exc
+
+                    if outcome is clean_step:
+                        total_instructions += 1
+                        index += 1
+                        continue
+
+                    removed = False
+                    if outcome is not None:
+                        status = outcome.status
+                        if status is executed:
+                            total_instructions += 1
+                            if outcome.misses:
+                                self._submit_misses(core_id,
+                                                    outcome.misses)
+                        elif status is fetch_miss:
+                            fetch_id = self._submit_misses(
+                                core_id, outcome.misses)
+                            state = states[core_id]
+                            state.waiting_fetch_id = fetch_id
+                            state.stall_start = now
+                            fetch_waits[fetch_id] = core_id
+                            del active_list[index]
+                            count -= 1
+                            active_set.remove(core_id)
+                            removed = True
+                            if chrome is not None:
+                                chrome.set_state(core_id, FETCH_STALL,
+                                                 now)
+
+                    if core.halted:
+                        states[core_id].halt_cycle = now
+                        if not removed:
+                            del active_list[index]
+                            count -= 1
+                            active_set.remove(core_id)
+                            removed = True
+                        remaining_cores -= 1
+                        if chrome is not None:
+                            chrome.halt(core_id, now)
+                    if not removed:
+                        index += 1
             if profiler is not None:
                 now_wall = clock()
                 profiler.spike_seconds += now_wall - section_start
                 section_start = now_wall
 
             # Advance Sparta in sync with functional execution;
-            # completions fired here re-activate stalled cores.
+            # completions fired here re-activate stalled cores (bumping
+            # the wake epoch, which vetoes the jump below).
+            epoch = self._wake_epoch
             advance_cycle()
             if profiler is not None:
                 profiler.sparta_seconds += clock() - section_start
-            if sampler is not None:
-                sampler.maybe_sample(scheduler.current_cycle)
-            if heartbeat is not None:
-                heartbeat.maybe_heartbeat(scheduler.current_cycle,
-                                          total_instructions,
-                                          scheduler.events_fired)
-            if watchdog is not None:
-                watchdog.observe(scheduler.current_cycle,
-                                 total_instructions,
-                                 scheduler.events_fired)
-            if invariants is not None:
-                invariants.maybe_check(scheduler.current_cycle)
+            if tail_hooks:
+                flush_credits()
+                if sampler is not None:
+                    sampler.maybe_sample(scheduler.current_cycle)
+                if heartbeat is not None:
+                    heartbeat.maybe_heartbeat(scheduler.current_cycle,
+                                              total_instructions,
+                                              scheduler.events_fired)
+                if watchdog is not None:
+                    watchdog.observe(scheduler.current_cycle,
+                                     total_instructions,
+                                     scheduler.events_fired)
+                if invariants is not None:
+                    invariants.maybe_check(scheduler.current_cycle)
+            if min_due > now + 1 and count and run_ahead \
+                    and epoch == self._wake_epoch:
+                # Dispatch-gap fast-forward: every surviving core is
+                # inside a previously dispatched micro-block and no
+                # event woke anyone, so nothing executes before the
+                # earliest resume cycle — jump the clock there (bounded
+                # by the next event, the pause point and the cycle
+                # budget, all identical-behaviour constraints; each
+                # skipped cycle would be an all-skip pass with no events
+                # due, i.e. a bare clock increment).
+                target = min_due
+                next_event = next_event_cycle()
+                if next_event is not None and next_event < target:
+                    target = next_event
+                if pause_at is not None and pause_at < target:
+                    target = pause_at
+                if max_cycles < target:
+                    target = max_cycles
+                here = now + 1
+                if target > here:
+                    activity_counts[count] += target - here
+                    scheduler.current_cycle = target
 
+        flush_credits()
         if activity_counts is not None:
             for cores_active, cycles in enumerate(activity_counts):
                 if cycles:

@@ -61,6 +61,7 @@ class Instruction:
         "shamt", "vm", "eew", "mop", "nf", "srcs", "dests", "all_regs",
         "is_load", "is_store", "is_branch", "is_jump", "is_amo",
         "is_vector", "is_vector_mem", "is_fp", "is_system",
+        "is_control",
     )
 
     def __init__(self, word: int, mnemonic: str, *, rd: int = 0, rs1: int = 0,
@@ -98,6 +99,11 @@ class Instruction:
         self.is_vector_mem = is_vector_mem
         self.is_fp = is_fp
         self.is_system = is_system
+        # Derived: may this instruction redirect (or fence) control
+        # flow?  Basic-block formation in the translated fast path ends
+        # a block here; system instructions count because they can trap
+        # or change pc (mret) and must run in the interpreter.
+        self.is_control = is_branch or is_jump or is_system
 
     def __repr__(self) -> str:
         return f"<Instruction {self.mnemonic} word={self.word:#010x}>"

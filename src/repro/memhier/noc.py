@@ -59,14 +59,16 @@ class CrossbarNoC(Unit):
 
     def route(self, source: str, destination: str, payload: Any) -> None:
         """Send ``payload``; it arrives after :meth:`route_latency`."""
-        handler = self._endpoints.get(destination)
+        endpoints = self._endpoints
+        handler = endpoints.get(destination)
         if handler is None:
             raise NocError(f"unknown NoC endpoint {destination!r}")
-        if source not in self._endpoints:
+        if source not in endpoints:
             raise NocError(f"unknown NoC endpoint {source!r}")
-        self._messages.increment()
+        self._messages.value += 1
+        link_counts = self._link_counts
         link = (source, destination)
-        self._link_counts[link] = self._link_counts.get(link, 0) + 1
+        link_counts[link] = link_counts.get(link, 0) + 1
         latency = self.route_latency(source, destination)
         observer = self.latency_observer
         hook = self.fault_hook

@@ -24,7 +24,7 @@ class RequestKind(enum.Enum):
         return self is not RequestKind.WRITEBACK
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """One L1-miss request travelling through L2 / NoC / memory.
 

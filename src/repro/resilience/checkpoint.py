@@ -47,11 +47,13 @@ def save_checkpoint(simulation, path: str | Path,
             "only a paused simulation can be checkpointed: call "
             "run(pause_at=...) and check .paused first",
             cycle=orchestrator.scheduler.current_cycle)
-    # The decode caches hold (instruction, executor-function) pairs;
-    # they are pure caches, rebuilt on demand, and dropping them keeps
-    # the checkpoint small and its contents free of code references.
+    # Code-derived caches — decoded (instruction, executor) pairs and
+    # translated block closures — are pure caches, rebuilt on demand;
+    # dropping them through the one invalidation hook keeps the
+    # checkpoint small and guarantees no compiled code reference can
+    # leak into the pickle.
     for core in orchestrator.cores:
-        core.hart.flush_decode_cache()
+        core.hart.drop_code_caches()
     payload = {
         "format": CHECKPOINT_FORMAT,
         "metadata": dict(metadata or {}),

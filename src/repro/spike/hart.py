@@ -65,6 +65,50 @@ class MemAccess:
     is_write: bool
 
 
+class CodeCacheRegistry:
+    """Machine-wide invalidation fan-out for derived-from-code caches.
+
+    Decoded instructions (``Hart._decode_cache``) and translated block
+    functions (:mod:`repro.spike.translate`) are both derived from code
+    bytes in shared memory, so a store into a page *any* hart has
+    decoded from must drop the derived state everywhere — not only on
+    ``fence.i``.  ``pages`` holds every page number known to contain
+    decoded code; the hart store helpers consult it with a single set
+    membership test, so programs that never write near their code pay
+    one ``in`` check per store and nothing else.
+    """
+
+    def __init__(self):
+        self.pages: set[int] = set()
+        self.harts: list[Hart] = []
+        # Translation caches; each exposes invalidate_range()/drop_all().
+        self.caches: list = []
+
+    def register_hart(self, hart: "Hart") -> None:
+        self.harts.append(hart)
+
+    def register_cache(self, cache) -> None:
+        self.caches.append(cache)
+
+    def note_store(self, address: int, size: int) -> None:
+        """A store touched a known code page: drop overlapping entries.
+
+        Any 4-byte instruction slot overlapping ``[address, address +
+        size)`` starts at a pc in ``[address - 3, address + size - 1]``,
+        so that range bounds both the decode-cache sweep and the
+        translated-block overlap test.
+        """
+        lo = address - 3
+        hi = address + size - 1
+        for hart in self.harts:
+            cache = hart._decode_cache
+            if cache:
+                for pc in range(lo, hi + 1):
+                    cache.pop(pc, None)
+        for cache in self.caches:
+            cache.invalidate_range(lo, hi)
+
+
 # The executor dispatch table: mnemonic -> callable(hart, instr).
 EXEC: dict = {}
 
@@ -105,7 +149,8 @@ class Hart:
     """Architectural state and functional execution for one core."""
 
     def __init__(self, hart_id: int, memory: SparseMemory,
-                 vlen_bits: int = DEFAULT_VLEN_BITS, reset_pc: int = 0):
+                 vlen_bits: int = DEFAULT_VLEN_BITS, reset_pc: int = 0,
+                 code_registry: CodeCacheRegistry | None = None):
         if vlen_bits % 64 or vlen_bits < 64:
             raise ValueError(f"VLEN must be a multiple of 64: {vlen_bits}")
         self.hart_id = hart_id
@@ -134,6 +179,16 @@ class Hart:
 
         self._decode_cache: dict[int, tuple[Instruction, object]] = {}
         self._pc_next = 0
+        # Code-cache invalidation plumbing: the registry is shared by
+        # every hart of one machine (stores by any hart must invalidate
+        # everyone's decoded state); ``_code_pages`` aliases its page
+        # set for the one-test store guard, and ``_code_caches`` lists
+        # this hart's translation caches for drop_code_caches().
+        self.code_registry = (code_registry if code_registry is not None
+                              else CodeCacheRegistry())
+        self.code_registry.register_hart(self)
+        self._code_pages = self.code_registry.pages
+        self._code_caches: list = []
 
     # -- register helpers ---------------------------------------------------
 
@@ -156,6 +211,9 @@ class Hart:
     def store_int(self, address: int, value: int, size: int) -> None:
         self.accesses.append(MemAccess(address, size, True))
         self.memory.store_int(address, value, size)
+        if (address >> 12) in self._code_pages \
+                or ((address + size - 1) >> 12) in self._code_pages:
+            self.code_registry.note_store(address, size)
 
     def load_f64(self, address: int) -> float:
         self.accesses.append(MemAccess(address, 8, False))
@@ -164,6 +222,9 @@ class Hart:
     def store_f64(self, address: int, value: float) -> None:
         self.accesses.append(MemAccess(address, 8, True))
         self.memory.store_int(address, f64_to_bits(value), 8)
+        if (address >> 12) in self._code_pages \
+                or ((address + 7) >> 12) in self._code_pages:
+            self.code_registry.note_store(address, 8)
 
     # -- CSR access ---------------------------------------------------------
 
@@ -257,12 +318,27 @@ class Hart:
                 raise IllegalInstructionTrap(pc, word)
             entry = (instr, fn)
             self._decode_cache[pc] = entry
+            pages = self._code_pages
+            pages.add(pc >> 12)
+            if (pc + 3) >> 12 != pc >> 12:
+                pages.add((pc + 3) >> 12)
         return entry
 
-    def flush_decode_cache(self) -> None:
-        """Invalidate cached decodes (after self-modifying stores or
-        fence.i)."""
+    def drop_code_caches(self) -> None:
+        """Drop every cache derived from code bytes for this hart.
+
+        The single invalidation entry point: ``fence.i`` and checkpoint
+        serialisation both route through here, clearing the decode cache
+        and any registered translation caches so no stale executor — and
+        no unpicklable compiled closure — can survive.
+        """
         self._decode_cache.clear()
+        for cache in self._code_caches:
+            cache.drop_all()
+
+    def flush_decode_cache(self) -> None:
+        """Historical spelling of :meth:`drop_code_caches`."""
+        self.drop_code_caches()
 
     def step(self) -> Instruction:
         """Execute one instruction; returns the decoded instruction.
@@ -508,7 +584,7 @@ def _fence(hart: Hart, instr: Instruction) -> None:
 
 @executor("fence.i")
 def _fence_i(hart: Hart, instr: Instruction) -> None:
-    hart.flush_decode_cache()
+    hart.drop_code_caches()
 
 
 @executor("wfi")

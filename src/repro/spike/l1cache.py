@@ -75,6 +75,15 @@ class L1Cache:
         # re-insert on touch, so the first key is always the LRU way.
         self._sets: list[dict[int, bool]] = [dict()
                                              for _ in range(self.num_sets)]
+        # Per set: the most-recently-used tag (-1 = unknown).  Touching
+        # the MRU way again is a no-op on LRU order, so hot paths (the
+        # translated blocks especially, which re-fetch the same I-line
+        # on every trip around a loop) compare against this shadow and
+        # skip the pop/re-insert.  Invariant: _mru[s] == t implies t is
+        # the newest key of _sets[s]; every mutation of a set either
+        # maintains that or resets the entry.  The list is only ever
+        # mutated in place — generated code holds a direct reference.
+        self._mru: list[int] = [-1] * self.num_sets
         self.stats = L1Stats()
 
     # -- geometry helpers ---------------------------------------------------
@@ -109,7 +118,8 @@ class L1Cache:
         """
         offset_bits = self._offset_bits
         tag = address >> offset_bits
-        ways = self._sets[tag & self._index_mask]
+        index = tag & self._index_mask
+        ways = self._sets[index]
         stats = self.stats
         if is_write:
             stats.writes += 1
@@ -118,6 +128,7 @@ class L1Cache:
 
         if tag in ways:
             ways[tag] = ways.pop(tag) or is_write  # re-insert as MRU
+            self._mru[index] = tag
             return None
 
         if is_write:
@@ -133,6 +144,7 @@ class L1Cache:
                 stats.writebacks += 1
                 writeback = victim_tag << offset_bits
         ways[tag] = is_write
+        self._mru[index] = tag
         return tag << offset_bits, writeback
 
     def probe(self, address: int) -> bool:
@@ -147,6 +159,7 @@ class L1Cache:
         """Drop every line (dirty data is *not* written back)."""
         for ways in self._sets:
             ways.clear()
+        self._mru[:] = (-1,) * self.num_sets
 
     def flush(self) -> list[int]:
         """Drop every line, returning dirty line addresses for write-back."""
@@ -156,6 +169,7 @@ class L1Cache:
                 if dirty:
                     dirty_lines.append(tag << self._offset_bits)
             ways.clear()
+        self._mru[:] = (-1,) * self.num_sets
         self.stats.writebacks += len(dirty_lines)
         return dirty_lines
 

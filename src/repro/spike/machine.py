@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 from repro.assembler.program import Program
 from repro.soc.memory import SparseMemory
-from repro.spike.hart import Hart, MemAccess
+from repro.spike.hart import CodeCacheRegistry, Hart, MemAccess
 
 DEFAULT_STACK_TOP = 0x9000_0000
 DEFAULT_STACK_BYTES = 64 * 1024
@@ -53,9 +53,13 @@ class BareMetalMachine:
         self.console = bytearray()
         self.harts = []
         self.exit_codes: dict[int, int] = {}
+        # One registry for the whole machine: a store by any hart into a
+        # decoded code page invalidates every hart's derived caches.
+        self.code_registry = CodeCacheRegistry()
         for core_id in range(num_cores):
             hart = Hart(core_id, self.memory, vlen_bits=vlen_bits,
-                        reset_pc=program.entry)
+                        reset_pc=program.entry,
+                        code_registry=self.code_registry)
             hart.regs[2] = stack_top - core_id * stack_bytes  # sp
             hart.regs[10] = core_id                           # a0
             self.harts.append(hart)
@@ -81,6 +85,25 @@ class BareMetalMachine:
                 self.exit_codes[hart.hart_id] = code
                 return HtifEvent(exited=True, exit_code=code)
         return HtifEvent()
+
+    def htif_store(self, hart: Hart) -> bool:
+        """HTIF protocol for one just-executed store to ``tohost``.
+
+        The translated fast path calls this directly — it already knows
+        the store's address hit ``tohost`` — while :meth:`check_htif`
+        remains the access-list-scanning interpreter entry point.  Both
+        apply the identical protocol; returns ``True`` when the storing
+        hart exits.
+        """
+        value = self.memory.load_int(self.tohost_address, 8)
+        device_command = value >> 48
+        if device_command == _HTIF_CONSOLE_TAG:
+            self.console.append(value & 0xFF)
+            self.memory.store_int(self.tohost_address, 0, 8)
+        elif device_command == 0 and value & 1:
+            self.exit_codes[hart.hart_id] = value >> 1
+            return True
+        return False
 
     def console_text(self) -> str:
         """Console output accumulated so far, decoded as UTF-8."""

@@ -57,9 +57,14 @@ patch_site:
         run_until_ebreak(hart)
         assert hart.regs[10] == 99
 
-    def test_stale_decode_without_fence(self):
-        """Without fence.i the cached decode executes (documented
-        incoherence between stores and the decode cache)."""
+    def test_store_invalidates_decode_without_fence(self):
+        """A store into decoded code takes effect even without fence.i.
+
+        Historically the decode cache was only dropped by fence.i, so
+        this program executed the stale cached ``addi a0, zero, 1`` on
+        its second pass; the CodeCacheRegistry now invalidates the
+        cached decode when any store hits a decoded page.
+        """
         hart = make_hart(""".text
 _start:
     la   t0, site
@@ -78,8 +83,8 @@ cont:
     ebreak
 """)
         run_until_ebreak(hart)
-        # Second pass through 'site' still executed the cached addi.
-        assert hart.regs[10] == 1
+        # Second pass through 'site' executed the patched addi.
+        assert hart.regs[10] == 99
 
 
 class TestVectorEdgeCases:
