@@ -19,6 +19,16 @@ includes ``host_cpus`` so a single-core CI container's flat curve is
 not mistaken for an engine regression.  On an unloaded 4-core host the
 expected ``workers=4`` speedup for the default campaign is >= 2x.
 
+On a single-CPU host the multi-worker series are not timed at all:
+their entries carry ``"skipped_reason": "single-cpu host"`` so a CI
+container's numbers can't be mistaken for an engine regression.
+
+A ``service_cache`` series times the same campaign submitted twice to
+the durable campaign service (``repro.service``): cold (every point
+simulated, hit rate 0) and warm (an identical resubmission served from
+the content-addressed result cache, hit rate 1), recording the
+wall-clock payoff of cross-campaign caching.
+
 The harness also times the largest worker count once more under a
 :class:`~repro.api.SupervisorPolicy` (0.2 s heartbeats, generous
 timeouts, no retries needed) and records the supervisor's wall-clock
@@ -35,6 +45,7 @@ import argparse
 import json
 import os
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -74,6 +85,38 @@ def time_campaign(sweep: Sweep, factory, workers: int,
     return elapsed, table.to_dict(DIFFERENTIAL_METRICS)
 
 
+def time_service_cache(cores: int, size: int, workers: int) -> dict:
+    """Time the same campaign submitted to the durable service twice.
+
+    The cold submission simulates every point; the warm resubmission of
+    an identical sweep should be served entirely from the
+    content-addressed result cache.  Records wall seconds and the cache
+    hit rate of each phase.
+    """
+    from repro.service.service import CampaignService
+
+    def submit_and_run(service: CampaignService) -> dict:
+        started = time.perf_counter()
+        job = service.submit("scalar-matmul", AXES, cores=cores,
+                             size=size)
+        service.run()
+        elapsed = time.perf_counter() - started
+        status = service.status(job)
+        return {
+            "wall_seconds": round(elapsed, 6),
+            "cache_hit_rate": round(status.cache_hits / status.total, 4)
+            if status.total else 0.0,
+        }
+
+    with tempfile.TemporaryDirectory(prefix="sweep-scaling-") as scratch:
+        root = Path(scratch) / "service"
+        with CampaignService(root, workers=workers) as service:
+            cold = submit_and_run(service)
+        with CampaignService(root, workers=workers) as service:
+            warm = submit_and_run(service)
+    return {"workers": workers, "cold": cold, "warm": warm}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark parallel-sweep scaling vs worker count.")
@@ -106,7 +149,15 @@ def main(argv: list[str] | None = None) -> int:
     results: dict[str, dict] = {}
     reference_seconds = None
     reference_table = None
+    single_cpu = host_cpus() == 1
     for workers in counts:
+        if workers > 1 and single_cpu:
+            # A multi-worker series on one CPU measures scheduler
+            # contention, not engine scaling; record why it's absent
+            # instead of a misleading flat curve.
+            results[str(workers)] = {"skipped_reason": "single-cpu host"}
+            print(f"  workers={workers:<3d} skipped: single-cpu host")
+            continue
         elapsed, table = time_campaign(sweep, factory, workers)
         if workers == 1:
             reference_seconds = elapsed
@@ -127,7 +178,7 @@ def main(argv: list[str] | None = None) -> int:
     # Supervisor overhead: the same campaign at the widest pool, with
     # heartbeats on.  The differential must hold here too — supervision
     # is a lifecycle wrapper, never a results change.
-    widest = max(counts)
+    widest = max(w for w in counts if not (w > 1 and single_cpu))
     supervised_policy = SupervisorPolicy(point_timeout_seconds=3600.0,
                                          heartbeat_interval_seconds=0.2)
     supervised_seconds, supervised_table = time_campaign(
@@ -141,6 +192,12 @@ def main(argv: list[str] | None = None) -> int:
                 if baseline_seconds else 0.0)
     print(f"  supervised (workers={widest}, 0.2s heartbeats) "
           f"{supervised_seconds:8.2f}s  overhead {overhead:+7.1%}")
+
+    service_cache = time_service_cache(cores, size, widest)
+    for phase in ("cold", "warm"):
+        stats = service_cache[phase]
+        print(f"  service {phase:<5s} {stats['wall_seconds']:8.2f}s  "
+              f"cache hit rate {stats['cache_hit_rate']:5.1%}")
 
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -156,6 +213,7 @@ def main(argv: list[str] | None = None) -> int:
             "wall_seconds": round(supervised_seconds, 6),
             "overhead_vs_unsupervised": round(overhead, 4),
         },
+        "service_cache": service_cache,
         "differential_identical": True,
     }
     if not args.no_trajectory:

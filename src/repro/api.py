@@ -24,6 +24,7 @@ repro.tools.check_api``.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Any
@@ -41,6 +42,7 @@ from repro.coyote.sweep import (
 )
 from repro.kernels import KERNELS, instantiate
 from repro.resilience.checkpoint import (
+    CampaignCorruptError,
     CheckpointError,
     load_checkpoint,
     restore_simulation,
@@ -55,7 +57,24 @@ from repro.resilience.supervisor import (
     RetryPolicy,
     SupervisorPolicy,
 )
+from repro.resilience.locking import CampaignLockError
 from repro.resilience.watchdog import DeadlockError
+from repro.service.cache import ResultCache
+from repro.service.service import (
+    CampaignService,
+    assemble_result,
+    build_spec,
+    readonly_store,
+    spec_points,
+    spool_cancel,
+    spool_submission,
+)
+from repro.service.store import (
+    JobNotFoundError,
+    JobStatus,
+    QueueFullError,
+    ServiceError,
+)
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.guestprof import CpiStack, GuestProfile, HotBlock
 
@@ -64,6 +83,18 @@ __all__ = [
     "run",
     "sweep",
     "replay",
+    # the durable campaign service
+    "submit",
+    "status",
+    "result",
+    "cancel",
+    "CampaignService",
+    "JobStatus",
+    "ServiceError",
+    "QueueFullError",
+    "JobNotFoundError",
+    "CampaignCorruptError",
+    "CampaignLockError",
     # simulation
     "Simulation",
     "SimulationConfig",
@@ -243,3 +274,111 @@ def replay(checkpoint: str | Path, *,
         verified = workload.verify(simulation.memory)
     return RunOutcome(results=results, verified=verified,
                       simulation=simulation, workload=workload)
+
+
+# -- the durable campaign service (docs/RESILIENCE.md) ----------------------
+#
+# submit/status/result/cancel are the async counterpart of sweep():
+# a campaign is enqueued against a service *root* directory and executed
+# by whichever process runs ``coyote-sim serve --root <root>`` — possibly
+# this one (``result(..., wait=True)`` runs the queue itself when no
+# server holds the lock).  State is crash-consistent (journal + snapshot)
+# and results are served from the content-addressed cache, bit-identical
+# to an in-process ``sweep()`` of the same campaign.
+
+
+def submit(kernel: str, *, root: str | Path, axes: dict[str, list],
+           cores: int = 8, size: int | None = None,
+           require_verified: bool = True, job_id: str | None = None,
+           **overrides) -> str:
+    """Enqueue a sweep campaign with the service at ``root``.
+
+    Returns the job id (pass it to :func:`status` / :func:`result` /
+    :func:`cancel`).  When no server holds the root's lock the
+    submission is journaled directly and the bounded queue is enforced
+    here (:class:`QueueFullError`); when a server is live the
+    submission is spooled into its inbox (the server enforces the bound
+    at ingestion — a rejected job shows up as ``<job>.rejected``).
+    """
+    spec = build_spec(kernel, axes, cores=cores, size=size,
+                      require_verified=require_verified, **overrides)
+    try:
+        with CampaignService(root) as service:
+            return service.submit(kernel, axes, cores=cores, size=size,
+                                  require_verified=require_verified,
+                                  job_id=job_id, **overrides)
+    except CampaignLockError:
+        return spool_submission(root, spec, job_id)
+
+
+def status(job_id: str, *, root: str | Path) -> JobStatus:
+    """The job's queue-state summary, read lock-free.
+
+    A submission still spooled in the inbox reports state
+    ``"spooled"``; one the bounded queue rejected raises
+    :class:`QueueFullError`.
+    """
+    root = Path(root)
+    store = readonly_store(root)
+    try:
+        return store.status(job_id)
+    except JobNotFoundError:
+        spooled = root / "inbox" / f"{job_id}.json"
+        if spooled.exists():
+            points = len(spec_points(
+                json.loads(spooled.read_text())["spec"]))
+            return JobStatus(job_id=job_id, state="spooled",
+                             total=points, pending=points)
+        if (root / "inbox" / f"{job_id}.rejected").exists():
+            raise QueueFullError(
+                f"{job_id} was rejected by the service's bounded "
+                f"queue (see {root / 'inbox'}/{job_id}.rejected)"
+            ) from None
+        raise
+
+
+def result(job_id: str, *, root: str | Path, wait: bool = False,
+           workers: int = 1) -> SweepTable:
+    """The completed job's :class:`SweepTable`.
+
+    Lock-free when the job is already complete and its cache entries
+    are healthy.  ``wait=True`` takes the service lock and runs the
+    queue in this process until the job finishes (including
+    recomputing any corrupt cache entry); without it, an incomplete
+    job or a corrupt entry raises :class:`ServiceError` with the
+    recovery instruction.
+    """
+    if wait:
+        with CampaignService(root, workers=workers) as service:
+            return service.result(job_id, wait=True)
+    root = Path(root)
+    store = readonly_store(root)
+    job_status = store.status(job_id)
+    if not job_status.complete:
+        raise ServiceError(
+            f"{job_id} is not complete ({job_status.pending} pending, "
+            f"{job_status.leased} leased of {job_status.total}); poll "
+            f"status() or call result(wait=True)")
+    table, corrupt = assemble_result(store, ResultCache(root / "cache"),
+                                     job_id)
+    if corrupt:
+        raise ServiceError(
+            f"{len(corrupt)} cached result(s) for {job_id} were "
+            f"corrupt; they were quarantined aside — recompute with "
+            f"result(wait=True) or `coyote-sim serve`")
+    return table
+
+
+def cancel(job_id: str, *, root: str | Path) -> JobStatus:
+    """Cancel a job's remaining points; returns the latest status.
+
+    Journals the cancel directly when no server holds the lock,
+    otherwise leaves a cancel marker the live server applies on its
+    next inbox sweep.
+    """
+    try:
+        with CampaignService(root) as service:
+            return service.cancel(job_id)
+    except CampaignLockError:
+        spool_cancel(root, job_id)
+        return status(job_id, root=root)

@@ -305,6 +305,199 @@ def profile_main(argv: list[str]) -> int:
     return EXIT_OK if ok else EXIT_VERIFY
 
 
+# -- the serve / jobs subcommands (durable campaign service) -----------------
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coyote-sim serve",
+        description="Run the durable campaign service: execute queued "
+                    "sweep points under leases, serve overlapping "
+                    "points from the result cache, survive being "
+                    "killed at any instant (docs/RESILIENCE.md).")
+    parser.add_argument("--root", metavar="DIR", required=True,
+                        help="service root directory (journal, inbox, "
+                             "result cache)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="concurrent worker processes")
+    parser.add_argument("--lease-seconds", type=float, default=30.0,
+                        metavar="S",
+                        help="wall-clock lease per claimed point; a "
+                             "worker silent this long is reclaimed")
+    parser.add_argument("--max-queue", type=int, default=4096,
+                        metavar="N",
+                        help="bound on outstanding points; beyond it "
+                             "submissions are rejected, not queued")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="re-run a crashed/expired point up to N "
+                             "times before quarantining it")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="retry-backoff jitter seed")
+    parser.add_argument("--drain", action="store_true",
+                        help="exit once the queue and inbox are empty "
+                             "instead of serving forever")
+    parser.add_argument("--poll-seconds", type=float, default=0.2,
+                        metavar="S",
+                        help="idle inbox/queue poll interval")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        metavar="S",
+                        help="stop serving after this long (testing)")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync every journal append (survives "
+                             "host power loss, not just process kills)")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="logging verbosity")
+    return parser
+
+
+def serve_main(argv: list[str]) -> int:
+    from repro.resilience.locking import CampaignLockError
+    from repro.resilience.supervisor import RetryPolicy
+    from repro.service.service import CampaignService
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    try:
+        service = CampaignService(
+            args.root, workers=args.workers,
+            max_queue=args.max_queue,
+            lease_seconds=args.lease_seconds,
+            retry=RetryPolicy(max_attempts=args.max_retries + 1),
+            seed=args.seed, fsync=args.fsync)
+    except ValueError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    try:
+        with service:
+            return service.serve(poll_seconds=args.poll_seconds,
+                                 drain=args.drain,
+                                 max_seconds=args.max_seconds)
+    except CampaignLockError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except SimulationError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+
+
+def build_jobs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coyote-sim jobs",
+        description="Submit to and query the durable campaign service "
+                    "(see `coyote-sim serve`).")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser(
+        "submit", help="enqueue a sweep campaign; prints the job id")
+    submit.add_argument("--root", metavar="DIR", required=True)
+    submit.add_argument("--kernel", choices=sorted(KERNELS),
+                        default="scalar-spmv", help="workload to sweep")
+    submit.add_argument("--cores", type=int, default=8)
+    submit.add_argument("--size", type=int, default=None)
+    submit.add_argument("--axes", action="append", metavar="NAME=V1,V2",
+                        default=[], required=True,
+                        help="one sweep axis (repeatable)")
+    submit.add_argument("--no-verify", action="store_true",
+                        help="do not require workload verification")
+
+    status = commands.add_parser(
+        "status", help="print a job's queue-state summary as JSON")
+    status.add_argument("--root", metavar="DIR", required=True)
+    status.add_argument("job_id")
+
+    result = commands.add_parser(
+        "result", help="print a completed job's sweep table")
+    result.add_argument("--root", metavar="DIR", required=True)
+    result.add_argument("job_id")
+    result.add_argument("--wait", action="store_true",
+                        help="run the queue in this process until the "
+                             "job completes (requires the service lock)")
+    result.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for --wait")
+    result.add_argument("--metrics", default="cycles", metavar="M1,M2",
+                        help="comma-separated metrics to tabulate")
+    result.add_argument("--out", metavar="JSON", default=None,
+                        help="write the canonical table "
+                             "(SweepTable.to_dict) as JSON")
+
+    cancel = commands.add_parser(
+        "cancel", help="cancel a job's remaining points")
+    cancel.add_argument("--root", metavar="DIR", required=True)
+    cancel.add_argument("job_id")
+
+    listing = commands.add_parser(
+        "list", help="list every job the service knows, oldest first")
+    listing.add_argument("--root", metavar="DIR", required=True)
+    return parser
+
+
+def jobs_main(argv: list[str]) -> int:
+    from repro import api
+    from repro.resilience.checkpoint import CampaignCorruptError
+    from repro.resilience.locking import CampaignLockError
+    from repro.service.service import readonly_store
+    parser = build_jobs_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "submit":
+            axes = parse_axes(args.axes)
+            job_id = api.submit(args.kernel, root=args.root, axes=axes,
+                                cores=args.cores, size=args.size,
+                                require_verified=not args.no_verify)
+            print(job_id)
+            return EXIT_OK
+        if args.command == "status":
+            print(json.dumps(api.status(args.job_id,
+                                        root=args.root).to_dict(),
+                             indent=1))
+            return EXIT_OK
+        if args.command == "result":
+            metrics = tuple(name.strip()
+                            for name in args.metrics.split(",")
+                            if name.strip())
+            table = api.result(args.job_id, root=args.root,
+                               wait=args.wait, workers=args.workers)
+            print(table.to_text(metrics=metrics))
+            if args.out is not None:
+                with open(args.out, "w") as handle:
+                    json.dump(table.to_dict(metrics=metrics), handle,
+                              indent=1)
+                    handle.write("\n")
+                print(f"table written        : {args.out}")
+            return sweep_exit_code(table)
+        if args.command == "cancel":
+            print(json.dumps(api.cancel(args.job_id,
+                                        root=args.root).to_dict(),
+                             indent=1))
+            return EXIT_OK
+        if args.command == "list":
+            store = readonly_store(args.root)
+            for job_id in store.jobs_in_order():
+                summary = store.status(job_id)
+                print(f"{job_id}  {summary.state:<9} "
+                      f"{summary.done}/{summary.total} done, "
+                      f"{summary.pending} pending, "
+                      f"{summary.leased} leased, "
+                      f"{summary.quarantined} quarantined")
+            return EXIT_OK
+    except ValueError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except (CampaignCorruptError, CampaignLockError,
+            SimulationError) as exc:
+        print(f"service error: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return EXIT_FAILURE
+    raise AssertionError(f"unhandled jobs command {args.command!r}")
+
+
 # -- the sweep subcommand ----------------------------------------------------
 
 
@@ -532,6 +725,10 @@ def main(argv: list[str] | None = None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "jobs":
+        return jobs_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.sample_interval < 0:

@@ -62,6 +62,7 @@ factory must be picklable (a module-level function).
 from __future__ import annotations
 
 import io
+import logging
 import multiprocessing
 import os
 import pickle
@@ -83,9 +84,16 @@ from repro.coyote.sweep import (
     run_point,
 )
 from repro.resilience import supervisor as supervision
-from repro.resilience.checkpoint import load_campaign, save_campaign
+from repro.resilience.checkpoint import (
+    CampaignCorruptError,
+    load_campaign,
+    save_campaign,
+)
+from repro.resilience.locking import PathLock
 from repro.resilience.supervisor import Supervisor, SupervisorPolicy
 from repro.telemetry.campaign import CampaignMonitor, CampaignProgress
+
+logger = logging.getLogger("repro.coyote.parallel")
 
 # How long the parent sleeps in connection.wait when nothing is ready.
 _WAIT_SECONDS = 0.05
@@ -282,13 +290,29 @@ class ParallelSweep:
     # -- public entry ------------------------------------------------------
 
     def run(self, make_workload: Callable) -> SweepTable:
+        if self.campaign_path is None:
+            return self._run(make_workload)
+        # Advisory lock: a second process pointed at the same campaign
+        # fails fast instead of silently interleaving atomic replaces.
+        with PathLock(self.campaign_path):
+            return self._run(make_workload)
+
+    def _run(self, make_workload: Callable) -> SweepTable:
         started = time.perf_counter()
         points = self.sweep.points()
         outcomes: dict[int, SweepPoint] = {}
         completed_store: dict[tuple, SweepPoint] = {}
         key = axes_key(self.sweep.axes)
         if self.campaign_path is not None:
-            completed_store = load_campaign(self.campaign_path, key)
+            try:
+                completed_store = load_campaign(self.campaign_path, key)
+            except CampaignCorruptError as exc:
+                # Damage, not misuse: warn and recompute from scratch
+                # rather than refusing to run the campaign at all.
+                logger.warning(
+                    "campaign checkpoint %s is corrupt (%s); "
+                    "starting cold", self.campaign_path, exc)
+                completed_store = {}
             for index, settings in enumerate(points):
                 stored = completed_store.get(settings_key(settings))
                 if stored is not None:

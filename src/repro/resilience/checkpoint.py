@@ -17,6 +17,7 @@ the errors module: ``repro.coyote.config`` imports this package for
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 from pathlib import Path
@@ -30,6 +31,22 @@ CHECKPOINT_FORMAT = 1
 
 class CheckpointError(SimulationError):
     """Saving or loading a checkpoint failed."""
+
+
+class CampaignCorruptError(CheckpointError):
+    """A campaign file on disk is corrupt (truncated, unreadable
+    pickle, or checksum mismatch).
+
+    Structured so callers can tell *damage* apart from *misuse* (axes
+    mismatch, unsupported format — plain :class:`CheckpointError`):
+    the parallel engine treats a corrupt checkpoint as a cold start
+    with a warning, while refusing to guess about a mismatched one.
+    ``path`` names the offending file.
+    """
+
+    def __init__(self, message: str, *, path=None, **details):
+        super().__init__(message, **details)
+        self.path = path
 
 
 def save_checkpoint(simulation, path: str | Path,
@@ -112,7 +129,14 @@ def restore_simulation(path: str | Path):
 # campaign warm-starts from what it already computed instead of
 # recomputing the survivors alongside the stragglers.
 
-CAMPAIGN_FORMAT = 1
+CAMPAIGN_FORMAT = 2
+
+# Format-2 campaign files are a one-line header followed by the pickled
+# payload: b"coyote-campaign 2 <sha256-of-payload>\n" + pickle bytes.
+# The checksum turns silent on-disk corruption (a flipped bit, a
+# truncated tail that still unpickles) into a structured
+# CampaignCorruptError instead of a wrong-but-loadable campaign.
+_CAMPAIGN_MAGIC = b"coyote-campaign"
 
 
 def save_campaign(path: str | Path, axes_key: str,
@@ -122,7 +146,8 @@ def save_campaign(path: str | Path, axes_key: str,
     ``axes_key`` is a canonical description of the sweep's axes; loads
     refuse a campaign file recorded for different axes.  The write goes
     through a temporary file and ``os.replace`` so a crash mid-write
-    can never leave a truncated campaign behind.
+    can never leave a truncated campaign behind, and the payload is
+    sha256-checksummed so corruption is detected on load.
     """
     path = Path(path)
     payload = {
@@ -130,14 +155,18 @@ def save_campaign(path: str | Path, axes_key: str,
         "axes_key": axes_key,
         "completed": completed,
     }
-    scratch = path.with_name(path.name + ".tmp")
     try:
-        with scratch.open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
-        scratch.unlink(missing_ok=True)
         raise CheckpointError(
             f"campaign state is not serialisable: {exc}") from exc
+    digest = hashlib.sha256(body).hexdigest()
+    header = b"%s %d %s\n" % (_CAMPAIGN_MAGIC, CAMPAIGN_FORMAT,
+                              digest.encode("ascii"))
+    scratch = path.with_name(path.name + ".tmp")
+    with scratch.open("wb") as handle:
+        handle.write(header)
+        handle.write(body)
     os.replace(scratch, path)
     return path
 
@@ -145,26 +174,70 @@ def save_campaign(path: str | Path, axes_key: str,
 def load_campaign(path: str | Path, axes_key: str) -> dict:
     """Read the completed points of a campaign ({} when none exists).
 
-    Raises :class:`CheckpointError` for a corrupt file, a format-version
-    mismatch, or a campaign recorded for different axes — resuming the
-    wrong campaign silently would be worse than recomputing.
+    Raises :class:`CampaignCorruptError` for a damaged file (truncation,
+    unreadable pickle, checksum mismatch) and plain
+    :class:`CheckpointError` for misuse (unsupported format, a campaign
+    recorded for different axes) — resuming the wrong campaign silently
+    would be worse than recomputing.
     """
     path = Path(path)
     if not path.exists():
         return {}
+    with path.open("rb") as handle:
+        header = handle.readline(256)
+        parts = header.split()
+        if len(parts) != 3 or parts[0] != _CAMPAIGN_MAGIC:
+            # Pre-checksum (format 1) files are a bare pickle.
+            return _load_legacy_campaign(path, axes_key)
+        try:
+            version = int(parts[1])
+        except ValueError:
+            raise CampaignCorruptError(
+                f"{path} has a mangled campaign header", path=path)
+        if version != CAMPAIGN_FORMAT:
+            raise CheckpointError(
+                f"{path}: campaign format {version} is not supported "
+                f"(expected {CAMPAIGN_FORMAT})")
+        body = handle.read()
+    digest = hashlib.sha256(body).hexdigest()
+    if digest.encode("ascii") != parts[2]:
+        raise CampaignCorruptError(
+            f"{path} failed its checksum (campaign file is corrupt "
+            f"or truncated)", path=path)
+    try:
+        payload = pickle.loads(body)
+    except (pickle.UnpicklingError, EOFError, ImportError,
+            AttributeError, IndexError) as exc:
+        raise CampaignCorruptError(
+            f"{path} is not a readable campaign file: {exc}",
+            path=path) from exc
+    return _validate_campaign(path, payload, axes_key)
+
+
+def _load_legacy_campaign(path: Path, axes_key: str) -> dict:
+    """Read a pre-checksum (format 1) campaign file."""
     try:
         with path.open("rb") as handle:
             payload = pickle.load(handle)
     except (pickle.UnpicklingError, EOFError, ImportError,
-            AttributeError) as exc:
-        raise CheckpointError(
-            f"{path} is not a readable campaign file: {exc}") from exc
+            AttributeError, IndexError) as exc:
+        raise CampaignCorruptError(
+            f"{path} is not a readable campaign file: {exc}",
+            path=path) from exc
     if not isinstance(payload, dict) or "format" not in payload:
-        raise CheckpointError(f"{path} is not a campaign file")
-    if payload["format"] != CAMPAIGN_FORMAT:
+        raise CampaignCorruptError(
+            f"{path} is not a campaign file", path=path)
+    if payload["format"] != 1:
         raise CheckpointError(
             f"{path}: campaign format {payload['format']} is not "
-            f"supported (expected {CAMPAIGN_FORMAT})")
+            f"supported (expected <= {CAMPAIGN_FORMAT})")
+    return _validate_campaign(path, payload, axes_key)
+
+
+def _validate_campaign(path: Path, payload, axes_key: str) -> dict:
+    if not isinstance(payload, dict) or "axes_key" not in payload:
+        raise CampaignCorruptError(
+            f"{path} is not a campaign file", path=path)
     if payload["axes_key"] != axes_key:
         raise CheckpointError(
             f"{path} was recorded for a different sweep "

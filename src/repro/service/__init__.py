@@ -1,0 +1,69 @@
+"""Durable campaign service: crash-consistent job store, lease-based
+recovery, and an integrity-checked result cache.
+
+Long campaigns outlive processes.  This package turns sweep execution
+into a service rooted in one directory that survives being killed at
+any instant (docs/RESILIENCE.md, "Campaign service"):
+
+* :mod:`repro.service.journal` — the append-only JSONL event journal
+  with checksummed snapshot compaction; queue state is a pure fold over
+  events, so recovery is replay and a torn final line is simply an
+  event that never committed.
+* :mod:`repro.service.store` — the job store folding that journal into
+  queue state: submitted jobs, point lifecycles, wall-clock leases.
+* :mod:`repro.service.cache` — the content-addressed result cache
+  keyed by (config digest, kernel digest, seed); checksummed entries,
+  corrupt ones quarantined aside and recomputed, overlapping sweeps
+  served from disk.
+* :mod:`repro.service.service` — :class:`CampaignService` itself: the
+  lease-based executor (heartbeat renewal, seeded retries, poison-point
+  quarantine), the bounded submission queue, the spool inbox, and the
+  SIGTERM/SIGINT drain behind ``coyote-sim serve``.
+
+The canonical import surface is :mod:`repro.api`
+(``submit/status/result/cancel``); the blessed names below are
+re-exported from there (lazily, to stay cycle-free).
+"""
+
+import importlib
+
+# Names served from the repro.api facade (the canonical path).
+_API_NAMES = frozenset({
+    "CampaignService",
+    "JobNotFoundError",
+    "JobStatus",
+    "QueueFullError",
+    "ServiceError",
+})
+
+# Internal-but-stable names that stay below the facade.
+_LOCAL_NAMES = {
+    "Journal": "repro.service.journal",
+    "JobStore": "repro.service.store",
+    "ResultCache": "repro.service.cache",
+    "config_digest": "repro.service.cache",
+    "kernel_digest": "repro.service.cache",
+    "new_job_id": "repro.service.service",
+    "point_key": "repro.service.cache",
+    "result_key": "repro.service.cache",
+    "spool_submission": "repro.service.service",
+}
+
+__all__ = sorted(_API_NAMES | set(_LOCAL_NAMES))
+
+
+def __getattr__(name: str):
+    if name in _API_NAMES:
+        api = importlib.import_module("repro.api")
+        value = getattr(api, name)
+    elif name in _LOCAL_NAMES:
+        value = getattr(importlib.import_module(_LOCAL_NAMES[name]), name)
+    else:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    globals()[name] = value  # cache: subsequent lookups skip this hook
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

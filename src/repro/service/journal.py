@@ -1,0 +1,236 @@
+"""Crash-consistent event journal: append-only JSONL plus snapshots.
+
+The durable campaign service records every state transition (submit,
+claim, heartbeat, complete, quarantine, ...) as one JSON line appended
+to a journal file.  Recovery is replay: the full queue state is a pure
+fold over the event stream, so a service killed at *any* write boundary
+reconstructs exactly the state whose events reached the disk.
+
+Two mechanisms make that safe:
+
+* **Torn-tail tolerance.**  A hard kill mid-append leaves at most one
+  partial line at the end of the file.  A strict prefix of a JSON
+  document is never itself valid JSON (the closing brace comes last),
+  so replay can tell "torn tail" (drop it — the event never committed)
+  from "corrupt interior" (raise
+  :class:`~repro.resilience.checkpoint.CampaignCorruptError` — the
+  disk lied) without per-line checksums.
+
+* **Sequence-numbered compaction.**  An unbounded journal would make
+  recovery O(campaign history), so the state is periodically folded
+  into a checksummed snapshot (atomic via temp file + ``os.replace``),
+  after which the journal is atomically reset.  Every event carries a
+  monotonic ``seq`` and the snapshot records the last seq it folded in;
+  replay skips journal events already covered by the snapshot.  A kill
+  between the two replaces is therefore harmless: the old journal's
+  events are all ``<= snapshot.seq`` and replay ignores them.
+
+Durability scope: flush-to-OS per append, which survives process kills
+(SIGKILL included).  Pass ``fsync=True`` to also survive host power
+loss at the cost of one ``fsync`` per event.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.resilience.checkpoint import CampaignCorruptError
+
+JOURNAL_FORMAT = 1
+_SNAPSHOT_MAGIC = b"coyote-snapshot"
+
+
+class Journal:
+    """One append-only JSONL event log with snapshot compaction.
+
+    The owner (the job store) folds events into state; the journal only
+    guarantees that what :meth:`append` returned is what :meth:`replay`
+    yields after any crash.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = False):
+        self.path = Path(path)
+        self.snapshot_path = self.path.with_name(
+            self.path.name + ".snap")
+        self.fsync = fsync
+        self._handle = None
+        self._seq = 0
+        self.appends = 0
+
+    @property
+    def seq(self) -> int:
+        """The sequence number of the most recent event."""
+        return self._seq
+
+    # -- recovery ----------------------------------------------------------
+
+    def load(self, *, readonly: bool = False
+             ) -> tuple[dict | None, list[dict]]:
+        """Read ``(snapshot_state, events)`` and open for appending.
+
+        ``snapshot_state`` is ``None`` when no snapshot exists; the
+        events are exactly those not yet folded into the snapshot, in
+        append order.  Also primes the internal sequence counter so new
+        appends continue the history.  ``readonly=True`` only replays —
+        it neither opens the file for appending nor truncates a torn
+        tail, so a live writer is never disturbed.
+        """
+        state, snap_seq = self._read_snapshot()
+        events = []
+        last_seq = snap_seq
+        for event in self._replay_lines(readonly=readonly):
+            seq = event.get("seq")
+            if not isinstance(seq, int):
+                raise CampaignCorruptError(
+                    f"{self.path}: journal event without a sequence "
+                    f"number", path=self.path)
+            if seq <= snap_seq:
+                continue  # already folded into the snapshot
+            if seq <= last_seq:
+                raise CampaignCorruptError(
+                    f"{self.path}: journal sequence went backwards "
+                    f"({seq} after {last_seq})", path=self.path)
+            last_seq = seq
+            events.append(event)
+        self._seq = max(snap_seq, last_seq)
+        if not readonly:
+            self._repair_missing_newline()
+            self._open_for_append()
+        return state, events
+
+    def _repair_missing_newline(self) -> None:
+        # A kill after an event's bytes but before its newline leaves a
+        # complete, valid final line with no terminator; the event
+        # committed, but a raw append would concatenate onto it.  Add
+        # the missing terminator before reopening for appends.
+        if not self.path.exists() or self.path.stat().st_size == 0:
+            return
+        with self.path.open("rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+
+    def _replay_lines(self, *, readonly: bool = False) -> Iterator[dict]:
+        if not self.path.exists():
+            return
+        with self.path.open("rb") as handle:
+            lines = handle.read().split(b"\n")
+        # A trailing newline yields one empty final chunk; drop it.
+        if lines and lines[-1] == b"":
+            lines.pop()
+        for position, line in enumerate(lines):
+            try:
+                event = json.loads(line)
+            except ValueError:
+                if position == len(lines) - 1:
+                    # Torn tail: the append never committed.  Truncate
+                    # it away so the next append starts a clean line.
+                    if not readonly:
+                        self._truncate_tail(line)
+                    return
+                raise CampaignCorruptError(
+                    f"{self.path}: journal line {position + 1} is not "
+                    f"valid JSON (mid-file corruption)",
+                    path=self.path) from None
+            if not isinstance(event, dict):
+                raise CampaignCorruptError(
+                    f"{self.path}: journal line {position + 1} is not "
+                    f"an event object", path=self.path)
+            yield event
+
+    def _truncate_tail(self, torn_line: bytes) -> None:
+        size = self.path.stat().st_size
+        keep = size - len(torn_line)
+        # The torn line may or may not have been followed by nothing;
+        # it is by construction the file's final bytes.
+        with self.path.open("rb+") as handle:
+            handle.truncate(max(0, keep))
+
+    # -- appending ---------------------------------------------------------
+
+    def _open_for_append(self) -> None:
+        self.close()
+        self._handle = self.path.open("ab")
+
+    def append(self, type: str, **fields: Any) -> dict:
+        """Durably append one event; returns it (with its ``seq``)."""
+        if self._handle is None:
+            raise CampaignCorruptError(
+                f"{self.path}: journal is not open (call load() first)",
+                path=self.path)
+        self._seq += 1
+        event = {"seq": self._seq, "type": type, **fields}
+        line = json.dumps(event, sort_keys=True,
+                          separators=(",", ":")).encode()
+        self._handle.write(line + b"\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+        self.appends += 1
+        return event
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, state: dict) -> None:
+        """Fold ``state`` into a fresh snapshot and reset the journal.
+
+        Crash-safe at every boundary: the snapshot replace and the
+        journal reset are each atomic, and the seq guard makes the
+        window between them harmless (see the module docstring).
+        """
+        body = json.dumps({"format": JOURNAL_FORMAT, "seq": self._seq,
+                           "state": state},
+                          sort_keys=True).encode()
+        digest = hashlib.sha256(body).hexdigest()
+        scratch = self.snapshot_path.with_name(
+            self.snapshot_path.name + ".tmp")
+        with scratch.open("wb") as handle:
+            handle.write(b"%s %d %s\n" % (_SNAPSHOT_MAGIC,
+                                          JOURNAL_FORMAT,
+                                          digest.encode("ascii")))
+            handle.write(body)
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(scratch, self.snapshot_path)
+        # Reset the journal atomically: replace it with an empty file.
+        journal_scratch = self.path.with_name(self.path.name + ".tmp")
+        journal_scratch.write_bytes(b"")
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        os.replace(journal_scratch, self.path)
+        self._open_for_append()
+        self.appends = 0
+
+    def _read_snapshot(self) -> tuple[dict | None, int]:
+        if not self.snapshot_path.exists():
+            return None, 0
+        with self.snapshot_path.open("rb") as handle:
+            header = handle.readline(256)
+            body = handle.read()
+        parts = header.split()
+        if len(parts) != 3 or parts[0] != _SNAPSHOT_MAGIC:
+            raise CampaignCorruptError(
+                f"{self.snapshot_path} is not a service snapshot",
+                path=self.snapshot_path)
+        if hashlib.sha256(body).hexdigest().encode("ascii") != parts[2]:
+            raise CampaignCorruptError(
+                f"{self.snapshot_path} failed its checksum (snapshot "
+                f"is corrupt or truncated)", path=self.snapshot_path)
+        payload = json.loads(body)
+        if payload.get("format") != JOURNAL_FORMAT:
+            raise CampaignCorruptError(
+                f"{self.snapshot_path}: snapshot format "
+                f"{payload.get('format')} is not supported",
+                path=self.snapshot_path)
+        return payload["state"], int(payload["seq"])
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None

@@ -1,0 +1,848 @@
+"""The durable campaign service: submit sweeps, survive anything.
+
+:class:`CampaignService` turns ``repro.api.sweep()`` from a library
+call into a crash-consistent job system rooted in one directory::
+
+    root/
+      journal.jsonl        the event journal (single writer, locked)
+      journal.jsonl.snap   checksummed snapshot (compaction)
+      inbox/               spooled submissions from other processes
+      cache/               content-addressed, checksummed results
+
+Execution model — at-least-once, made safe by idempotence:
+
+* **Claims are leases.**  The executor claims a pending point under a
+  wall-clock lease and renews it from the worker's heartbeats.  A
+  service or executor that dies simply stops renewing; whoever opens
+  the store next observes the expiry and reclaims the point.  A lease
+  whose owner is *provably* dead (same host, PID gone) is released
+  immediately without spending an attempt — a crashed service must
+  not eat a point's retry budget; only a silent/wedged owner does.
+* **Workers never touch the journal or the cache.**  A point runs in a
+  child process (the PR-5 worker, heartbeats included); only the
+  parent journals transitions and writes cache entries, so an orphaned
+  worker left behind by a SIGKILLed service can corrupt nothing — it
+  dies on its next pipe write, and at worst its work is recomputed.
+* **Completions are idempotent.**  Results live in the
+  content-addressed cache keyed by (config digest, kernel digest,
+  seed); a point executed twice writes the same bytes under the same
+  key, and the job store ignores duplicate ``complete`` events.
+* **Failures flow into the existing machinery.**  Crashed or expired
+  attempts are retried under the seeded
+  :class:`~repro.resilience.supervisor.RetryPolicy`; a point that
+  exhausts its budget is quarantined as a
+  :class:`~repro.resilience.supervisor.QuarantinedPoint`, exactly like
+  a supervised in-process sweep.
+
+Cross-process shape: the serving process holds the journal lock; other
+processes submit by spooling JSON files into ``inbox/`` (atomic,
+unique names, no lock needed) and read status lock-free from the
+snapshot + journal.  ``repro.api.submit/status/result/cancel`` and the
+``coyote-sim serve`` / ``coyote-sim jobs`` CLI wrap exactly this.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import signal
+import socket
+import tempfile
+import time
+from multiprocessing import connection
+from pathlib import Path
+from typing import Any, Callable
+
+import multiprocessing
+
+from repro.coyote.config import SimulationConfig
+from repro.coyote.parallel import RemoteError, _worker_main
+from repro.coyote.sweep import Sweep, SweepPoint, SweepTable
+from repro.kernels import KERNELS, instantiate
+from repro.resilience import supervisor as supervision
+from repro.resilience.locking import PathLock
+from repro.resilience.supervisor import (
+    AttemptRecord,
+    QuarantinedPoint,
+    RetryPolicy,
+)
+from repro.service.cache import (
+    ResultCache,
+    config_digest,
+    kernel_digest,
+    result_key,
+)
+from repro.service.journal import Journal
+from repro.service.store import (
+    JobNotFoundError,
+    JobStatus,
+    JobStore,
+    QueueFullError,
+    ServiceError,
+)
+from repro.telemetry.campaign import ServiceMonitor
+
+__all__ = [
+    "CampaignService",
+    "JobNotFoundError",
+    "JobStatus",
+    "QueueFullError",
+    "ServiceError",
+    "assemble_result",
+    "build_spec",
+    "new_job_id",
+    "readonly_store",
+    "spec_points",
+    "spool_cancel",
+    "spool_submission",
+]
+
+# Parent-side wait granularity for worker pipes.
+_POLL_SECONDS = 0.05
+
+
+def _service_worker_main(inherited_fds, *args) -> None:
+    # A forked worker inherits the parent's journal-lock descriptor,
+    # and flock follows the open file, not the process: an orphan left
+    # behind by a SIGKILLed service would keep the root locked — and a
+    # restarted service locked out — until the orphan happened to die.
+    # Drop the inherited handles before doing any work.
+    for fd in inherited_fds:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+    _worker_main(*args)
+
+
+def new_job_id() -> str:
+    """A fresh, collision-resistant job id (client-generated, so
+    submissions can be spooled without coordinating a counter)."""
+    return f"job-{secrets.token_hex(6)}"
+
+
+def build_spec(kernel: str, axes: dict[str, list], *, cores: int = 8,
+               size: int | None = None, require_verified: bool = True,
+               **overrides: Any) -> dict:
+    """Validate and canonicalise one submission into a JSON spec."""
+    if kernel not in KERNELS:
+        raise ServiceError(
+            f"unknown kernel {kernel!r} (the service runs named "
+            f"kernels only; expected one of {sorted(KERNELS)})")
+    if not axes:
+        raise ServiceError("a submission needs at least one axis")
+    spec = {"kernel": kernel, "cores": cores, "size": size,
+            "axes": {name: list(values)
+                     for name, values in axes.items()},
+            "overrides": dict(overrides),
+            "require_verified": require_verified}
+    try:
+        json.dumps(spec)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(
+            f"submission is not JSON-serialisable (service sweeps "
+            f"take plain axis values): {exc}") from exc
+    return spec
+
+
+def spec_points(spec: dict) -> list[dict]:
+    """The cartesian settings dicts of one spec, in sweep order."""
+    return Sweep(base_cores=spec["cores"], axes=spec["axes"],
+                 **spec["overrides"]).points()
+
+
+def spool_submission(root: str | Path, spec: dict,
+                     job_id: str | None = None) -> str:
+    """Atomically drop one submission into the service inbox.
+
+    The lock-free submission path: any process may spool while a
+    server is running; the server ingests the file into its journal.
+    """
+    root = Path(root)
+    inbox = root / "inbox"
+    inbox.mkdir(parents=True, exist_ok=True)
+    job_id = job_id or new_job_id()
+    body = json.dumps({"job_id": job_id, "spec": spec},
+                      sort_keys=True, indent=1)
+    fd, scratch = tempfile.mkstemp(dir=inbox, prefix=".spool-",
+                                   suffix=".tmp")
+    with os.fdopen(fd, "w") as handle:
+        handle.write(body)
+    os.replace(scratch, inbox / f"{job_id}.json")
+    return job_id
+
+
+def spool_cancel(root: str | Path, job_id: str) -> None:
+    """Ask a running server to cancel ``job_id`` (lock-free).
+
+    The marker applies once the server next ingests its inbox; a
+    marker for a job the server never learns about lingers harmlessly.
+    """
+    inbox = Path(root) / "inbox"
+    inbox.mkdir(parents=True, exist_ok=True)
+    (inbox / f"{job_id}.cancel").touch()
+
+
+def readonly_store(root: str | Path) -> "JobStore":
+    """Reconstruct a service's queue state without taking its lock.
+
+    The lock-free query path: replays the snapshot + journal without
+    opening them for writing, so it is always safe while a server is
+    live (a torn tail is skipped, not truncated).
+    """
+    store = JobStore(Journal(Path(root) / "journal.jsonl"))
+    store.open(readonly=True)
+    return store
+
+
+def assemble_result(store: JobStore, cache: ResultCache,
+                    job_id: str) -> tuple[SweepTable | None,
+                                          list[tuple[int, str]]]:
+    """Build a job's :class:`SweepTable` from the store + cache.
+
+    Returns ``(table, corrupt)`` where ``corrupt`` lists the
+    ``(index, cache_key)`` of completed points whose cache entry could
+    not be served (the cache has already quarantined them aside); when
+    any exist the table is ``None`` and those points need recomputing.
+    Journal-write-free, so the read-only API path shares it.
+    """
+    job = store._job(job_id)
+    points: list[SweepPoint] = []
+    corrupt: list[tuple[int, str]] = []
+    for record in job["points"]:
+        settings = record["settings"]
+        state = record["state"]
+        if state == "done" and record["cache_key"] is not None:
+            cached = cache.get(record["cache_key"])
+            if cached is None:
+                corrupt.append((record["index"], record["cache_key"]))
+                continue
+            points.append(cached)
+        elif state == "done":
+            points.append(_failure_point(settings, record))
+        elif state == "quarantined":
+            points.append(SweepPoint(
+                settings, None, False,
+                _quarantine_error(settings, record)))
+        elif state == "cancelled":
+            points.append(SweepPoint(
+                settings, None, False,
+                ServiceError(f"point {settings} was cancelled")))
+        else:
+            raise ServiceError(
+                f"{job_id}[{record['index']}] is still {state}; "
+                f"wait for the job to complete")
+    if corrupt:
+        return None, corrupt
+    return SweepTable(axes=dict(job["spec"]["axes"]),
+                      points=points), []
+
+
+def _failure_point(settings: dict, record: dict) -> SweepPoint:
+    failure = record["failure"] or {
+        "kind": "ServiceError", "message": "point failed"}
+    return SweepPoint(
+        settings, None, bool(record["verified"]),
+        RemoteError(failure["kind"], failure["message"]))
+
+
+def _quarantine_error(settings: dict, record: dict) -> QuarantinedPoint:
+    attempts = [
+        AttemptRecord(attempt=number, outcome=entry["outcome"],
+                      exit_code=entry.get("exit_code"),
+                      signal=(-entry["exit_code"]
+                              if entry.get("exit_code") is not None
+                              and entry["exit_code"] < 0 else None),
+                      stderr_tail=entry.get("stderr_tail", ""))
+        for number, entry in enumerate(record["attempts"], start=1)]
+    failure = record.get("failure") or {}
+    message = failure.get("message") or (
+        f"service point {settings} quarantined after "
+        f"{len(attempts)} attempt(s)")
+    return QuarantinedPoint(message, attempts=attempts)
+
+
+class _Running:
+    """Parent-side state of one in-flight worker attempt."""
+
+    def __init__(self, job_id: str, index: int, settings: dict,
+                 cache_key: str | None, process, conn,
+                 stderr_path: str | None):
+        self.job_id = job_id
+        self.index = index
+        self.settings = settings
+        self.cache_key = cache_key
+        self.process = process
+        self.conn = conn
+        self.stderr_path = stderr_path
+        self.last_renew = time.monotonic()
+
+
+class CampaignService:
+    """One durable campaign service rooted in a directory.
+
+    Use as a context manager (or call :meth:`open`/:meth:`close`):
+    opening acquires the journal lock, replays the journal, recovers
+    provably-dead leases, and ingests any spooled submissions.
+    """
+
+    def __init__(self, root: str | Path, *, workers: int = 1,
+                 max_queue: int = 4096, lease_seconds: float = 30.0,
+                 retry: RetryPolicy | None = None, seed: int = 0,
+                 heartbeat_seconds: float = 0.2,
+                 term_grace_seconds: float = 2.0,
+                 compact_every: int = 512, fsync: bool = False,
+                 monitor: ServiceMonitor | None = None,
+                 mp_context: str | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if lease_seconds <= 0:
+            raise ValueError(
+                f"lease_seconds must be > 0, got {lease_seconds}")
+        self.root = Path(root)
+        self.workers = workers
+        self.lease_seconds = lease_seconds
+        self.retry = retry if retry is not None else RetryPolicy(
+            max_attempts=3, base_delay=0.1, max_delay=5.0)
+        self.retry.validate()
+        self.seed = seed
+        self.heartbeat_seconds = heartbeat_seconds
+        self.term_grace_seconds = term_grace_seconds
+        self.monitor = monitor if monitor is not None else ServiceMonitor()
+        journal = Journal(self.root / "journal.jsonl", fsync=fsync)
+        self.store = JobStore(journal, max_queue=max_queue,
+                              compact_every=compact_every)
+        self.cache = ResultCache(self.root / "cache")
+        self.worker_id = (f"{socket.gethostname()}:{os.getpid()}:"
+                          f"{secrets.token_hex(4)}")
+        self._lock = PathLock(self.root / "journal.jsonl")
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(mp_context)
+        self._inflight: dict[Any, _Running] = {}
+        self._not_before: dict[tuple[str, int], float] = {}
+        self._kernel_digests: dict[str, str | None] = {}
+        self._opened = False
+        # Test hook: called with the _Running record right after a
+        # worker spawns (chaos tests SIGKILL executors mid-lease here).
+        self._chaos_on_spawn: Callable[[_Running], None] | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def open(self) -> "CampaignService":
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / "inbox").mkdir(exist_ok=True)
+        self._lock.acquire()
+        try:
+            self.store.open()
+            self._opened = True
+            self._recover_dead_leases()
+            self.ingest_inbox()
+        except BaseException:
+            self._opened = False
+            self._lock.release()
+            raise
+        return self
+
+    def close(self) -> None:
+        if not self._opened:
+            return
+        self._drain()
+        self.store.compact()
+        self.store.close()
+        self._lock.release()
+        self._opened = False
+
+    def __enter__(self) -> "CampaignService":
+        return self.open()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _require_open(self) -> None:
+        if not self._opened:
+            raise ServiceError("service is not open (use it as a "
+                               "context manager or call open())")
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, kernel: str, axes: dict[str, list], *,
+               cores: int = 8, size: int | None = None,
+               require_verified: bool = True,
+               job_id: str | None = None, **overrides: Any) -> str:
+        """Enqueue one sweep campaign; returns its job id.
+
+        Raises :class:`QueueFullError` (backpressure by rejection)
+        when the bounded queue cannot take the new points.
+        """
+        self._require_open()
+        spec = build_spec(kernel, axes, cores=cores, size=size,
+                          require_verified=require_verified, **overrides)
+        points = spec_points(spec)
+        job_id = job_id or new_job_id()
+        try:
+            self.store.submit(job_id, spec, points)
+        except QueueFullError as exc:
+            self.monitor.rejected(str(exc))
+            raise
+        self.monitor.submitted(job_id, len(points))
+        return job_id
+
+    def ingest_inbox(self) -> int:
+        """Fold spooled submissions into the journal; returns count.
+
+        Crash-safe: ingestion journals the submit *then* unlinks the
+        spool file, and re-ingesting a known job id is a no-op.  A
+        submission the bounded queue cannot take is renamed to
+        ``<job>.rejected`` (visible to the submitter) instead of
+        wedging the inbox.
+        """
+        self._require_open()
+        ingested = 0
+        inbox = self.root / "inbox"
+        for path in sorted(inbox.glob("*.json")):
+            try:
+                payload = json.loads(path.read_text())
+                job_id = payload["job_id"]
+                spec = payload["spec"]
+                points = spec_points(spec)
+            except Exception:
+                path.rename(path.with_suffix(".corrupt"))
+                self.monitor.rejected(f"unreadable submission {path.name}")
+                continue
+            if job_id not in self.store.jobs:
+                try:
+                    self.store.submit(job_id, spec, points)
+                except QueueFullError as exc:
+                    path.rename(path.with_suffix(".rejected"))
+                    self.monitor.rejected(str(exc))
+                    continue
+                self.monitor.submitted(job_id, len(points))
+                ingested += 1
+            path.unlink(missing_ok=True)
+        # Cancel markers apply after submissions, so cancelling a job
+        # whose spool file was ingested in the same pass works.
+        for path in sorted(inbox.glob("*.cancel")):
+            job_id = path.name[:-len(".cancel")]
+            if job_id in self.store.jobs:
+                if self.store.jobs[job_id]["state"] == "active":
+                    self.store.cancel(job_id)
+                path.unlink(missing_ok=True)
+        return ingested
+
+    # -- queries -----------------------------------------------------------
+
+    def status(self, job_id: str) -> JobStatus:
+        self._require_open()
+        self.ingest_inbox()
+        return self.store.status(job_id)
+
+    def cancel(self, job_id: str) -> JobStatus:
+        """Stop executing a job's remaining points (in-flight leases
+        settle on their own); returns the resulting status."""
+        self._require_open()
+        self.ingest_inbox()
+        self.store.cancel(job_id)
+        return self.store.status(job_id)
+
+    # -- results -----------------------------------------------------------
+
+    def result(self, job_id: str, *, wait: bool = False) -> SweepTable:
+        """The job's :class:`SweepTable`, assembled from the cache.
+
+        A corrupt cache entry discovered here is quarantined aside and
+        its point re-queued; with ``wait=True`` the service then runs
+        the missing points itself, otherwise a :class:`ServiceError`
+        reports what was re-queued.  Tables are bit-identical to an
+        in-process ``repro.api.sweep()`` of the same campaign.
+        """
+        self._require_open()
+        for _attempt in range(4):
+            if wait:
+                self.run()
+            status = self.store.status(job_id)
+            if not status.complete:
+                if wait:
+                    continue
+                raise ServiceError(
+                    f"{job_id} is not complete ({status.pending} "
+                    f"pending, {status.leased} leased of "
+                    f"{status.total}); run `coyote-sim serve`")
+            table, requeued = self._assemble(job_id)
+            if not requeued:
+                return table
+            if not wait:
+                raise ServiceError(
+                    f"{requeued} cached result(s) for {job_id} were "
+                    f"corrupt; the points were quarantined aside and "
+                    f"re-queued — run `coyote-sim serve` to recompute")
+        raise ServiceError(
+            f"results for {job_id} remained incomplete after repeated "
+            f"recovery attempts")
+
+    def _assemble(self, job_id: str) -> tuple[SweepTable | None, int]:
+        table, corrupt = assemble_result(self.store, self.cache, job_id)
+        for index, key in corrupt:
+            # Corrupt or missing entry: never served, never fatal —
+            # the cache set it aside; re-queue the point to recompute.
+            self.monitor.cache_corrupt(key)
+            self.store.invalidate(job_id, index)
+        return table, len(corrupt)
+
+    # -- the executor ------------------------------------------------------
+
+    def run(self, *, max_seconds: float | None = None,
+            stop: Callable[[], bool] | None = None) -> int:
+        """Execute queued points until none remain (or ``stop`` says
+        so); returns the number of points completed this call.
+
+        The node-local executor tier: claims points under leases,
+        serves cache hits without simulating, runs misses in worker
+        processes with heartbeat-renewed leases, retries or
+        quarantines failures, and reclaims expired leases — including
+        those left behind by a previous, killed service process.
+        """
+        self._require_open()
+        before = self.monitor.counters["completions"]
+        deadline = (time.monotonic() + max_seconds
+                    if max_seconds is not None else None)
+        while True:
+            if stop is not None and stop():
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            self.ingest_inbox()
+            self._recover_dead_leases()
+            self._reap_expired()
+            progressed = self._fill_slots()
+            progressed |= self._pump()
+            self.monitor.observe_queue(self.store.outstanding_points(),
+                                       self.store.active_leases())
+            if not self._inflight and not self.store.has_work():
+                break
+            if not progressed and not self._inflight:
+                # Only backoff windows or foreign leases remain.
+                time.sleep(_POLL_SECONDS)
+        return self.monitor.counters["completions"] - before
+
+    def _eligible(self, job_id: str, point: dict) -> bool:
+        not_before = self._not_before.get((job_id, point["index"]))
+        return not_before is None or not_before <= time.time()
+
+    def _fill_slots(self) -> bool:
+        progressed = False
+        while len(self._inflight) < self.workers:
+            claimed = self.store.claim(self.worker_id, time.time(),
+                                       self.lease_seconds,
+                                       eligible=self._eligible)
+            if claimed is None:
+                return progressed
+            job_id, point = claimed
+            index = point["index"]
+            self.monitor.claimed(job_id, index)
+            progressed = True
+            key = self._cache_key(job_id, point["settings"])
+            cached = self.cache.get(key) if key is not None else None
+            if cached is not None:
+                # Served from disk: no simulation, lease settled now.
+                self.store.complete(
+                    job_id, index, cache_key=key,
+                    verified=cached.verified,
+                    failure=cached.failure_record(), cached=True)
+                self.monitor.completed(job_id, index, cached=True)
+                continue
+            try:
+                self._spawn(job_id, point, key)
+            except OSError:
+                # Fork pressure: give the point back and breathe.
+                self.store.release(job_id, index)
+                self.monitor.released(job_id, index)
+                time.sleep(_POLL_SECONDS)
+                return progressed
+        return progressed
+
+    def _cache_key(self, job_id: str, settings: dict) -> str | None:
+        spec = self.store.jobs[job_id]["spec"]
+        if job_id not in self._kernel_digests:
+            try:
+                workload = instantiate(spec["kernel"], spec["cores"],
+                                       spec["size"])
+                self._kernel_digests[job_id] = kernel_digest(workload)
+            except Exception:
+                # The worker will record the deterministic failure.
+                self._kernel_digests[job_id] = None
+        kernel_hex = self._kernel_digests[job_id]
+        if kernel_hex is None:
+            return None
+        try:
+            config = SimulationConfig.for_cores(
+                spec["cores"], **{**spec["overrides"], **settings})
+        except Exception:
+            return None
+        return result_key(config_digest(config), kernel_hex,
+                          config.resilience.fault_seed)
+
+    def _workload_factory(self, job_id: str) -> Callable:
+        spec = self.store.jobs[job_id]["spec"]
+        kernel, cores, size = spec["kernel"], spec["cores"], spec["size"]
+
+        def make_workload():
+            return instantiate(kernel, cores, size)
+
+        return make_workload
+
+    def _spawn(self, job_id: str, point: dict,
+               cache_key: str | None) -> None:
+        spec = self.store.jobs[job_id]["spec"]
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        fd, stderr_path = tempfile.mkstemp(prefix="coyote-service-",
+                                           suffix=".stderr")
+        os.close(fd)
+        try:
+            # Only fork children inherit our descriptors (spawn starts
+            # from a fresh process whose fd numbers mean other files).
+            inherited = []
+            if self._context.get_start_method() == "fork" \
+                    and self._lock.fd is not None:
+                inherited = [self._lock.fd]
+            process = self._context.Process(
+                target=_service_worker_main,
+                args=(inherited, child_conn, point["index"],
+                      point["settings"], spec["cores"],
+                      spec["overrides"], self._workload_factory(job_id),
+                      spec["require_verified"],
+                      self.heartbeat_seconds, stderr_path),
+                daemon=True)
+            process.start()
+        except BaseException:
+            parent_conn.close()
+            child_conn.close()
+            os.unlink(stderr_path)
+            raise
+        child_conn.close()
+        running = _Running(job_id, point["index"], point["settings"],
+                           cache_key, process, parent_conn, stderr_path)
+        self._inflight[parent_conn] = running
+        if self._chaos_on_spawn is not None:
+            self._chaos_on_spawn(running)
+
+    def _pump(self) -> bool:
+        if not self._inflight:
+            return False
+        progressed = False
+        for conn in connection.wait(list(self._inflight),
+                                    _POLL_SECONDS):
+            running = self._inflight.get(conn)
+            if running is None:
+                continue
+            try:
+                message = conn.recv()
+            except EOFError:
+                self._worker_died(running, "crash")
+                progressed = True
+                continue
+            if message[0] == "hb":
+                self._heartbeat(running)
+                continue
+            _tag, _index, point = message
+            self._worker_finished(running, point)
+            progressed = True
+        return progressed
+
+    def _heartbeat(self, running: _Running) -> None:
+        # Renew the lease at roughly a third of its term: enough slack
+        # that one late heartbeat never expires a healthy worker, and
+        # the journal is not flooded with renewals.
+        now = time.monotonic()
+        if now - running.last_renew >= self.lease_seconds / 3:
+            running.last_renew = now
+            self.store.renew(running.job_id, running.index,
+                             time.time(), self.lease_seconds)
+
+    def _retire(self, running: _Running) -> str:
+        process = running.process
+        if process.is_alive():
+            process.terminate()
+            process.join(self.term_grace_seconds)
+            if process.is_alive():
+                process.kill()
+                process.join()
+        else:
+            process.join()
+        try:
+            running.conn.close()
+        except OSError:
+            pass
+        self._inflight.pop(running.conn, None)
+        tail = supervision.read_stderr_tail(running.stderr_path)
+        if running.stderr_path is not None:
+            try:
+                os.unlink(running.stderr_path)
+            except OSError:
+                pass
+            running.stderr_path = None
+        return tail
+
+    def _worker_finished(self, running: _Running,
+                         point: SweepPoint) -> None:
+        self._retire(running)
+        cache_key = None
+        if point.results is not None and running.cache_key is not None:
+            # Deterministic outcome (including a verification failure
+            # that kept its results): cacheable and shareable.
+            if self.cache.put(running.cache_key, point):
+                cache_key = running.cache_key
+        self.store.complete(running.job_id, running.index,
+                            cache_key=cache_key,
+                            verified=point.verified,
+                            failure=point.failure_record(),
+                            cached=False)
+        self.monitor.completed(running.job_id, running.index,
+                               cached=False)
+        self._not_before.pop((running.job_id, running.index), None)
+
+    def _worker_died(self, running: _Running, outcome: str) -> None:
+        tail = self._retire(running)
+        exit_code = running.process.exitcode
+        self._record_failure(running.job_id, running.index,
+                             running.settings, outcome, exit_code, tail)
+
+    def _record_failure(self, job_id: str, index: int, settings: dict,
+                        outcome: str, exit_code: int | None,
+                        tail: str) -> None:
+        attempts = len(self.store.jobs[job_id]["points"][index]
+                       ["attempts"]) + 1
+        final = attempts >= self.retry.max_attempts
+        failure = None
+        if final:
+            suffix = (f" (exit code {exit_code})"
+                      if exit_code is not None else "")
+            failure = {"kind": "QuarantinedPoint",
+                       "message": f"service point {settings} "
+                                  f"quarantined after {attempts} "
+                                  f"attempt(s); last outcome: "
+                                  f"{outcome}{suffix}"}
+        self.store.attempt(job_id, index, outcome=outcome,
+                           exit_code=exit_code, stderr_tail=tail,
+                           final=final, failure=failure)
+        if final:
+            self.monitor.quarantined(job_id, index, attempts)
+        else:
+            backoff = self.retry.backoff_seconds(
+                attempts, seed=self.seed, index=index)
+            self._not_before[(job_id, index)] = time.time() + backoff
+            self.monitor.retry(job_id, index, attempts, backoff)
+
+    # -- lease recovery ----------------------------------------------------
+
+    def _reap_expired(self) -> None:
+        now = time.time()
+        for job_id, point in self.store.expired_leases(now):
+            index = point["index"]
+            running = self._find_inflight(job_id, index)
+            self.monitor.lease_expired(job_id, index)
+            if running is not None:
+                # Our own wedged worker: its heartbeats stopped long
+                # enough for the lease to lapse.  Reap it.
+                tail = self._retire(running)
+                self._record_failure(job_id, index, point["settings"],
+                                     "lease-expired",
+                                     running.process.exitcode, tail)
+            else:
+                # A dead (or foreign, silent) executor's lease.
+                self._record_failure(job_id, index, point["settings"],
+                                     "lease-expired", None, "")
+
+    def _recover_dead_leases(self) -> None:
+        """Release leases whose owner is provably dead (same host,
+        PID gone) without charging the point an attempt — a killed
+        service is not the point's fault."""
+        hostname = socket.gethostname()
+        for job_id in self.store.jobs_in_order():
+            for point in self.store.jobs[job_id]["points"]:
+                lease = point["lease"]
+                if point["state"] != "leased" or lease is None:
+                    continue
+                owner = str(lease.get("worker", ""))
+                parts = owner.split(":")
+                if len(parts) != 3 or parts[0] != hostname:
+                    continue
+                if owner == self.worker_id:
+                    continue
+                try:
+                    pid = int(parts[1])
+                except ValueError:
+                    continue
+                if not _pid_alive(pid):
+                    self.store.release(job_id, point["index"])
+                    self.monitor.released(job_id, point["index"])
+
+    def _find_inflight(self, job_id: str,
+                       index: int) -> _Running | None:
+        for running in self._inflight.values():
+            if running.job_id == job_id and running.index == index:
+                return running
+        return None
+
+    def _drain(self) -> None:
+        """Stop in-flight work gracefully: terminate workers, release
+        their leases (no attempt charged), persist."""
+        for running in list(self._inflight.values()):
+            self._retire(running)
+            self.store.release(running.job_id, running.index)
+            self.monitor.released(running.job_id, running.index)
+
+    # -- the long-running server loop --------------------------------------
+
+    def serve(self, *, poll_seconds: float = 0.2, drain: bool = False,
+              max_seconds: float | None = None) -> int:
+        """Serve until signalled (or, with ``drain=True``, until the
+        queue empties); returns an exit-taxonomy code.
+
+        SIGTERM and SIGINT both drain gracefully — in-flight workers
+        are stopped, their leases released, state compacted — then
+        exit 0 (SIGTERM: clean shutdown) or 130 (SIGINT, the shell
+        convention the CLI taxonomy already documents).
+        """
+        self._require_open()
+        received: dict[str, int] = {}
+
+        def handler(signum, frame):
+            received["signal"] = signum
+
+        previous = {}
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            previous[signum] = signal.signal(signum, handler)
+        deadline = (time.monotonic() + max_seconds
+                    if max_seconds is not None else None)
+        try:
+            while "signal" not in received:
+                self.run(stop=lambda: "signal" in received)
+                if "signal" in received:
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                if drain and not self.store.has_work() \
+                        and not list((self.root / "inbox").glob("*.json")):
+                    break
+                time.sleep(poll_seconds)
+        finally:
+            for signum, old in previous.items():
+                signal.signal(signum, old)
+        self._drain()
+        self.store.compact()
+        if received.get("signal") == signal.SIGINT:
+            return 130
+        return 0
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True

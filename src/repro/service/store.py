@@ -1,0 +1,362 @@
+"""The durable job store: campaign queue state as a fold over events.
+
+One :class:`JobStore` owns the service's whole queue: every submitted
+job (a sweep campaign), every point's lifecycle state, and every lease.
+All state is JSON-serialisable and reconstructed purely by replaying
+the journal, so the store survives a hard kill at any write boundary
+(see :mod:`repro.service.journal`).
+
+Point lifecycle::
+
+    pending --claim--> leased --complete--> done
+       ^                  |
+       |                  +--attempt (crash/timeout, retries left)--+
+       |                  +--release (graceful drain)---------------+
+       |                  +--attempt final----> quarantined
+       +--invalidate (corrupt cache entry at result assembly)-- done
+
+Leases are wall-clock (absolute epoch seconds, persisted), so a lease
+taken by a crashed or wedged executor expires on its own and the point
+is reclaimed by whichever service process observes the expiry —
+at-least-once execution, made safe by the content-addressed result
+cache (duplicate completions are idempotent: the first one wins).
+
+The store makes no policy decisions: *when* to retry versus quarantine
+is the service's call (it consults the existing seeded
+:class:`~repro.resilience.supervisor.RetryPolicy`); the store only
+applies recorded transitions, identically live and during replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.coyote.errors import SimulationError
+from repro.service.journal import Journal
+
+# Terminal point states (nothing left to execute).
+DONE_STATES = ("done", "quarantined", "cancelled")
+
+
+class ServiceError(SimulationError):
+    """A campaign-service usage or lifecycle error."""
+
+
+class QueueFullError(ServiceError):
+    """The bounded submission queue is full; the submit was rejected.
+
+    Backpressure by rejection: a full service refuses new campaigns
+    loudly instead of wedging every caller behind an unbounded queue.
+    """
+
+
+class JobNotFoundError(ServiceError):
+    """No job with the requested id exists in this service."""
+
+
+@dataclass
+class JobStatus:
+    """One job's queue-state summary (all counts are points)."""
+
+    job_id: str
+    state: str                  # "active" | "cancelled"
+    total: int
+    pending: int = 0
+    leased: int = 0
+    done: int = 0
+    failed: int = 0             # done but with a failure record
+    quarantined: int = 0
+    cancelled: int = 0
+    cache_hits: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """No point has execution left (done/quarantined/cancelled)."""
+        return self.pending == 0 and self.leased == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id, "state": self.state,
+            "total": self.total, "pending": self.pending,
+            "leased": self.leased, "done": self.done,
+            "failed": self.failed, "quarantined": self.quarantined,
+            "cancelled": self.cancelled, "cache_hits": self.cache_hits,
+            "complete": self.complete,
+        }
+
+
+class JobStore:
+    """Queue state over a :class:`~repro.service.journal.Journal`.
+
+    ``max_queue`` bounds the number of points with execution still
+    outstanding (pending + leased) across all jobs; a submit that would
+    exceed it raises :class:`QueueFullError` without journaling
+    anything.
+    """
+
+    def __init__(self, journal: Journal, *, max_queue: int = 4096,
+                 compact_every: int = 512):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.journal = journal
+        self.max_queue = max_queue
+        self.compact_every = compact_every
+        self.jobs: dict[str, dict] = {}
+
+    # -- recovery ----------------------------------------------------------
+
+    def open(self, *, readonly: bool = False) -> "JobStore":
+        """Load the snapshot, replay the journal, ready for appends.
+
+        ``readonly=True`` reconstructs state without opening the
+        journal for writing — the lock-free path behind status reads
+        while another process is serving.
+        """
+        state, events = self.journal.load(readonly=readonly)
+        if state is not None:
+            self.jobs = state["jobs"]
+        for event in events:
+            self._apply(event)
+        return self
+
+    def state_dict(self) -> dict:
+        return {"jobs": self.jobs}
+
+    def compact(self) -> None:
+        self.journal.compact(self.state_dict())
+
+    def close(self) -> None:
+        self.journal.close()
+
+    def _record(self, type: str, **fields: Any) -> dict:
+        event = self.journal.append(type, **fields)
+        self._apply(event)
+        if self.compact_every and self.journal.appends >= self.compact_every:
+            self.compact()
+        return event
+
+    # -- event application (the single replay/live path) -------------------
+
+    def _apply(self, event: dict) -> None:
+        handler = getattr(self, f"_apply_{event['type']}", None)
+        if handler is None:
+            raise ServiceError(
+                f"unknown journal event type {event['type']!r}")
+        handler(event)
+
+    def _apply_submit(self, event: dict) -> None:
+        points = [
+            {"index": index, "settings": settings, "state": "pending",
+             "attempts": [], "lease": None, "cache_key": None,
+             "verified": None, "failure": None, "cached": False}
+            for index, settings in enumerate(event["points"])]
+        self.jobs[event["job"]] = {
+            "spec": event["spec"], "state": "active",
+            "order": event["seq"], "points": points}
+
+    def _apply_claim(self, event: dict) -> None:
+        point = self._point(event["job"], event["index"])
+        point["state"] = "leased"
+        point["lease"] = {"worker": event["worker"],
+                          "expires": event["expires"]}
+
+    def _apply_renew(self, event: dict) -> None:
+        point = self._point(event["job"], event["index"])
+        if point["lease"] is not None:
+            point["lease"]["expires"] = event["expires"]
+
+    def _apply_attempt(self, event: dict) -> None:
+        point = self._point(event["job"], event["index"])
+        if point["state"] in DONE_STATES:
+            return  # stale observation of an already-settled point
+        point["attempts"].append({
+            "outcome": event["outcome"],
+            "exit_code": event.get("exit_code"),
+            "stderr_tail": event.get("stderr_tail", "")})
+        point["lease"] = None
+        if event["final"]:
+            point["state"] = "quarantined"
+            point["failure"] = event.get("failure")
+        else:
+            point["state"] = "pending"
+
+    def _apply_complete(self, event: dict) -> None:
+        point = self._point(event["job"], event["index"])
+        if point["state"] in DONE_STATES:
+            return  # at-least-once: later duplicate completions no-op
+        point["state"] = "done"
+        point["lease"] = None
+        point["cache_key"] = event.get("cache_key")
+        point["verified"] = event.get("verified")
+        point["failure"] = event.get("failure")
+        point["cached"] = bool(event.get("cached"))
+
+    def _apply_release(self, event: dict) -> None:
+        point = self._point(event["job"], event["index"])
+        if point["state"] == "leased":
+            point["state"] = "pending"
+            point["lease"] = None
+
+    def _apply_invalidate(self, event: dict) -> None:
+        point = self._point(event["job"], event["index"])
+        if point["state"] == "done":
+            point["state"] = "pending"
+            point["cache_key"] = None
+            point["verified"] = None
+            point["failure"] = None
+            point["cached"] = False
+
+    def _apply_cancel(self, event: dict) -> None:
+        job = self._job(event["job"])
+        job["state"] = "cancelled"
+        for point in job["points"]:
+            if point["state"] == "pending":
+                point["state"] = "cancelled"
+            # Leased points settle when their attempt finishes or the
+            # lease expires; the claim loop stops handing out new ones.
+
+    # -- commands (journal, then apply) ------------------------------------
+
+    def submit(self, job_id: str, spec: dict,
+               points: list[dict]) -> str:
+        """Enqueue one job under ``job_id``.  Bounded: raises
+        :class:`QueueFullError` when the new points would overflow.
+        Re-submitting an id the store already knows is an idempotent
+        no-op (crash-safe inbox ingestion relies on this)."""
+        if job_id in self.jobs:
+            return job_id
+        outstanding = self.outstanding_points()
+        if outstanding + len(points) > self.max_queue:
+            raise QueueFullError(
+                f"submission of {len(points)} point(s) rejected: "
+                f"{outstanding} outstanding, queue bound is "
+                f"{self.max_queue}",
+                outstanding=outstanding, max_queue=self.max_queue)
+        self._record("submit", job=job_id, spec=spec, points=points)
+        return job_id
+
+    def claim(self, worker: str, now: float, lease_seconds: float,
+              eligible: Callable[[str, dict], bool] | None = None,
+              ) -> tuple[str, dict] | None:
+        """Lease the next pending point (submission order, then index).
+
+        Returns ``(job_id, point_record)`` or ``None`` when nothing is
+        claimable.  ``eligible`` lets the caller veto points (retry
+        backoff windows live with the service, not the store).
+        """
+        for job_id in self.jobs_in_order():
+            job = self.jobs[job_id]
+            if job["state"] != "active":
+                continue
+            for point in job["points"]:
+                if point["state"] != "pending":
+                    continue
+                if eligible is not None and not eligible(job_id, point):
+                    continue
+                self._record("claim", job=job_id,
+                             index=point["index"], worker=worker,
+                             expires=now + lease_seconds)
+                return job_id, point
+        return None
+
+    def renew(self, job_id: str, index: int, now: float,
+              lease_seconds: float) -> None:
+        self._record("renew", job=job_id, index=index,
+                     expires=now + lease_seconds)
+
+    def complete(self, job_id: str, index: int, *,
+                 cache_key: str | None, verified: bool | None,
+                 failure: dict | None, cached: bool = False) -> None:
+        self._record("complete", job=job_id, index=index,
+                     cache_key=cache_key, verified=verified,
+                     failure=failure, cached=cached)
+
+    def attempt(self, job_id: str, index: int, *, outcome: str,
+                exit_code: int | None, stderr_tail: str, final: bool,
+                failure: dict | None = None) -> None:
+        self._record("attempt", job=job_id, index=index,
+                     outcome=outcome, exit_code=exit_code,
+                     stderr_tail=stderr_tail, final=final,
+                     failure=failure)
+
+    def release(self, job_id: str, index: int) -> None:
+        self._record("release", job=job_id, index=index)
+
+    def invalidate(self, job_id: str, index: int) -> None:
+        self._record("invalidate", job=job_id, index=index)
+
+    def cancel(self, job_id: str) -> None:
+        self._job(job_id)  # raise JobNotFoundError before journaling
+        self._record("cancel", job=job_id)
+
+    # -- queries -----------------------------------------------------------
+
+    def _job(self, job_id: str) -> dict:
+        try:
+            return self.jobs[job_id]
+        except KeyError:
+            raise JobNotFoundError(
+                f"no job {job_id!r} in this service "
+                f"(known: {sorted(self.jobs) or 'none'})") from None
+
+    def _point(self, job_id: str, index: int) -> dict:
+        return self._job(job_id)["points"][index]
+
+    def outstanding_points(self) -> int:
+        """Points still owed execution (pending + leased), all jobs."""
+        return sum(1 for job in self.jobs.values()
+                   for point in job["points"]
+                   if point["state"] in ("pending", "leased"))
+
+    def jobs_in_order(self) -> list[str]:
+        """Job ids in submission order."""
+        return sorted(self.jobs, key=lambda job_id:
+                      self.jobs[job_id]["order"])
+
+    def expired_leases(self, now: float) -> list[tuple[str, dict]]:
+        """Every leased point whose wall-clock lease has lapsed."""
+        lapsed = []
+        for job_id in self.jobs_in_order():
+            for point in self.jobs[job_id]["points"]:
+                lease = point["lease"]
+                if (point["state"] == "leased" and lease is not None
+                        and lease["expires"] <= now):
+                    lapsed.append((job_id, point))
+        return lapsed
+
+    def active_leases(self) -> int:
+        return sum(1 for job in self.jobs.values()
+                   for point in job["points"]
+                   if point["state"] == "leased")
+
+    def has_work(self) -> bool:
+        return any(job["state"] == "active"
+                   and any(point["state"] in ("pending", "leased")
+                           for point in job["points"])
+                   for job in self.jobs.values())
+
+    def status(self, job_id: str) -> JobStatus:
+        job = self._job(job_id)
+        status = JobStatus(job_id=job_id, state=job["state"],
+                           total=len(job["points"]))
+        for point in job["points"]:
+            state = point["state"]
+            if state == "pending":
+                status.pending += 1
+            elif state == "leased":
+                status.leased += 1
+            elif state == "done":
+                status.done += 1
+                if point["failure"] is not None:
+                    status.failed += 1
+                if point["cached"]:
+                    status.cache_hits += 1
+            elif state == "quarantined":
+                status.quarantined += 1
+            elif state == "cancelled":
+                status.cancelled += 1
+        return status
+
+    def job_ids(self) -> list[str]:
+        return self.jobs_in_order()

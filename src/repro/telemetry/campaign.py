@@ -151,3 +151,74 @@ class CampaignMonitor:
         """The attempt timeline as a Chrome trace-event document."""
         return {"traceEvents": list(self._events),
                 "displayTimeUnit": "ms"}
+
+
+class ServiceMonitor:
+    """Observability of the durable campaign service.
+
+    The service reports every queue/lease/cache transition here:
+    counters for submissions, claims, completions, cache hits/misses/
+    corruption, retries, quarantines, lease expirations and queue-full
+    rejections, plus last-value gauges for queue depth and active
+    leases.  Like :class:`CampaignMonitor`, everything is host-side —
+    none of it enters a result table.
+    """
+
+    def __init__(self, sink: Callable[[str], None] | None = None):
+        self.counters = {
+            "submits": 0, "points_submitted": 0, "claims": 0,
+            "completions": 0, "cache_hits": 0, "cache_misses": 0,
+            "cache_corrupt": 0, "retries": 0, "quarantined": 0,
+            "lease_expired": 0, "released": 0, "rejected": 0,
+        }
+        self.gauges = {"queue_depth": 0, "active_leases": 0}
+        self._sink = sink or logger.info
+
+    def observe_queue(self, depth: int, leases: int) -> None:
+        self.gauges["queue_depth"] = depth
+        self.gauges["active_leases"] = leases
+
+    def submitted(self, job_id: str, points: int) -> None:
+        self.counters["submits"] += 1
+        self.counters["points_submitted"] += points
+        self._sink(f"service: job {job_id} submitted ({points} points)")
+
+    def rejected(self, reason: str) -> None:
+        self.counters["rejected"] += 1
+        self._sink(f"service: submission rejected ({reason})")
+
+    def claimed(self, job_id: str, index: int) -> None:
+        self.counters["claims"] += 1
+
+    def completed(self, job_id: str, index: int, *,
+                  cached: bool) -> None:
+        self.counters["completions"] += 1
+        if cached:
+            self.counters["cache_hits"] += 1
+        else:
+            self.counters["cache_misses"] += 1
+
+    def cache_corrupt(self, key: str) -> None:
+        self.counters["cache_corrupt"] += 1
+        self._sink(f"service: corrupt cache entry {key[:12]} "
+                   f"quarantined; point will be recomputed")
+
+    def retry(self, job_id: str, index: int, attempt: int,
+              backoff_seconds: float) -> None:
+        self.counters["retries"] += 1
+        self._sink(f"service: {job_id}[{index}] attempt {attempt} "
+                   f"failed, retrying in {backoff_seconds:.2f}s")
+
+    def quarantined(self, job_id: str, index: int,
+                    attempts: int) -> None:
+        self.counters["quarantined"] += 1
+        self._sink(f"service: {job_id}[{index}] quarantined after "
+                   f"{attempts} attempt(s)")
+
+    def lease_expired(self, job_id: str, index: int) -> None:
+        self.counters["lease_expired"] += 1
+        self._sink(f"service: {job_id}[{index}] lease expired; "
+                   f"point reclaimed")
+
+    def released(self, job_id: str, index: int) -> None:
+        self.counters["released"] += 1

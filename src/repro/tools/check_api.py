@@ -29,7 +29,7 @@ import sys
 import warnings
 
 FACADE = "repro.api"
-FACADED_PACKAGES = ("repro.coyote", "repro.resilience")
+FACADED_PACKAGES = ("repro.coyote", "repro.resilience", "repro.service")
 
 # Deprecated spellings that must keep working (and warning) until their
 # removal window closes: (module, attribute-path).
@@ -52,6 +52,15 @@ REQUIRED_FACADE_NAMES = (
     "GuestProfile",
     "CpiStack",
     "HotBlock",
+    # the durable campaign service
+    "submit",
+    "status",
+    "result",
+    "cancel",
+    "CampaignService",
+    "JobStatus",
+    "ServiceError",
+    "QueueFullError",
 )
 
 

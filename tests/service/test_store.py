@@ -1,0 +1,211 @@
+"""The job store: lifecycle transitions, leases, bounds, replay.
+
+Everything here runs against the real journal on disk, and the key
+invariant — live state equals replayed state — is asserted by folding
+the journal in a fresh store after each scenario.
+"""
+
+import pytest
+
+from repro.service.journal import Journal
+from repro.service.store import (
+    JobNotFoundError,
+    JobStore,
+    QueueFullError,
+)
+
+POINTS = [{"noc_latency": 2}, {"noc_latency": 4}, {"noc_latency": 6}]
+SPEC = {"kernel": "vector-axpy", "cores": 2, "size": 64,
+        "axes": {"noc_latency": [2, 4, 6]}, "overrides": {},
+        "require_verified": True}
+
+
+def open_store(tmp_path, **kwargs):
+    store = JobStore(Journal(tmp_path / "journal.jsonl"), **kwargs)
+    store.open()
+    return store
+
+
+def replayed(tmp_path):
+    """A fresh store folded purely from the journal on disk."""
+    store = JobStore(Journal(tmp_path / "journal.jsonl"))
+    store.open(readonly=True)
+    return store
+
+
+class TestLifecycle:
+    def test_submit_claim_complete(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS)
+        assert store.outstanding_points() == 3
+        claimed = store.claim("w", now=100.0, lease_seconds=30.0)
+        assert claimed is not None
+        job_id, point = claimed
+        assert (job_id, point["index"]) == ("job-1", 0)
+        assert point["state"] == "leased"
+        assert point["lease"] == {"worker": "w", "expires": 130.0}
+        store.complete("job-1", 0, cache_key="k0", verified=True,
+                       failure=None)
+        assert store.jobs["job-1"]["points"][0]["state"] == "done"
+        status = store.status("job-1")
+        assert (status.done, status.pending, status.leased) == (1, 2, 0)
+        assert not status.complete
+        assert replayed(tmp_path).jobs == store.jobs
+        store.close()
+
+    def test_resubmit_known_id_is_a_noop(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS)
+        before = store.journal.seq
+        store.submit("job-1", SPEC, POINTS)
+        assert store.journal.seq == before
+        store.close()
+
+    def test_claims_follow_submission_order(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-b", SPEC, POINTS[:1])
+        store.submit("job-a", SPEC, POINTS[:1])
+        job_id, _ = store.claim("w", now=0.0, lease_seconds=1.0)
+        assert job_id == "job-b"  # first submitted, despite the name
+        store.close()
+
+    def test_eligible_veto_skips_points(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS)
+        _, point = store.claim(
+            "w", now=0.0, lease_seconds=1.0,
+            eligible=lambda job, record: record["index"] != 0)
+        assert point["index"] == 1
+        store.close()
+
+    def test_duplicate_complete_is_idempotent(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS)
+        store.claim("w", now=0.0, lease_seconds=1.0)
+        store.complete("job-1", 0, cache_key="first", verified=True,
+                       failure=None)
+        store.complete("job-1", 0, cache_key="second", verified=False,
+                       failure={"kind": "X", "message": "dup"})
+        point = store.jobs["job-1"]["points"][0]
+        assert point["cache_key"] == "first"  # the first one won
+        assert point["failure"] is None
+        assert replayed(tmp_path).jobs == store.jobs
+        store.close()
+
+    def test_attempt_retry_then_quarantine(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:1])
+        store.claim("w", now=0.0, lease_seconds=1.0)
+        store.attempt("job-1", 0, outcome="crash", exit_code=-9,
+                      stderr_tail="boom", final=False)
+        point = store.jobs["job-1"]["points"][0]
+        assert point["state"] == "pending"  # back in the queue
+        assert len(point["attempts"]) == 1
+        store.claim("w", now=0.0, lease_seconds=1.0)
+        store.attempt("job-1", 0, outcome="crash", exit_code=-9,
+                      stderr_tail="boom", final=True,
+                      failure={"kind": "QuarantinedPoint",
+                               "message": "poison"})
+        assert point["state"] == "quarantined"
+        status = store.status("job-1")
+        assert status.quarantined == 1
+        assert status.complete  # nothing left to execute
+        assert replayed(tmp_path).jobs == store.jobs
+        store.close()
+
+    def test_release_returns_point_to_queue(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:1])
+        store.claim("w", now=0.0, lease_seconds=1.0)
+        store.release("job-1", 0)
+        point = store.jobs["job-1"]["points"][0]
+        assert point["state"] == "pending"
+        assert point["lease"] is None
+        assert len(point["attempts"]) == 0  # release charges nothing
+        store.close()
+
+    def test_invalidate_requeues_a_done_point(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:1])
+        store.claim("w", now=0.0, lease_seconds=1.0)
+        store.complete("job-1", 0, cache_key="k", verified=True,
+                       failure=None)
+        store.invalidate("job-1", 0)
+        point = store.jobs["job-1"]["points"][0]
+        assert point["state"] == "pending"
+        assert point["cache_key"] is None
+        assert replayed(tmp_path).jobs == store.jobs
+        store.close()
+
+    def test_cancel_settles_pending_not_leased(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS)
+        store.claim("w", now=0.0, lease_seconds=30.0)
+        store.cancel("job-1")
+        states = [point["state"]
+                  for point in store.jobs["job-1"]["points"]]
+        assert states == ["leased", "cancelled", "cancelled"]
+        # The in-flight lease settles normally.
+        store.complete("job-1", 0, cache_key="k", verified=True,
+                       failure=None)
+        assert store.status("job-1").complete
+        assert not store.has_work()
+        store.close()
+
+    def test_unknown_job_raises(self, tmp_path):
+        store = open_store(tmp_path)
+        with pytest.raises(JobNotFoundError, match="no job"):
+            store.status("job-missing")
+        with pytest.raises(JobNotFoundError):
+            store.cancel("job-missing")
+        store.close()
+
+
+class TestBoundsAndLeases:
+    def test_queue_bound_rejects_without_journaling(self, tmp_path):
+        store = open_store(tmp_path, max_queue=4)
+        store.submit("job-1", SPEC, POINTS)
+        before = store.journal.seq
+        with pytest.raises(QueueFullError, match="rejected"):
+            store.submit("job-2", SPEC, POINTS)
+        assert store.journal.seq == before
+        # Completions free capacity.
+        store.claim("w", now=0.0, lease_seconds=1.0)
+        store.complete("job-1", 0, cache_key="k", verified=True,
+                       failure=None)
+        store.submit("job-2", SPEC, POINTS[:1])
+        store.close()
+
+    def test_expired_leases(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:2])
+        store.claim("w", now=100.0, lease_seconds=30.0)
+        store.claim("w", now=100.0, lease_seconds=90.0)
+        assert store.expired_leases(now=120.0) == []
+        lapsed = store.expired_leases(now=140.0)
+        assert [point["index"] for _, point in lapsed] == [0]
+        assert store.active_leases() == 2
+        store.close()
+
+    def test_renew_extends_a_lease(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:1])
+        store.claim("w", now=100.0, lease_seconds=30.0)
+        store.renew("job-1", 0, now=125.0, lease_seconds=30.0)
+        assert store.expired_leases(now=140.0) == []
+        assert store.expired_leases(now=156.0) != []
+        store.close()
+
+
+class TestCompactionIntegration:
+    def test_auto_compaction_preserves_state(self, tmp_path):
+        store = open_store(tmp_path, compact_every=4)
+        store.submit("job-1", SPEC, POINTS)
+        for index in range(3):
+            store.claim("w", now=0.0, lease_seconds=1.0)
+            store.complete("job-1", index, cache_key=f"k{index}",
+                           verified=True, failure=None)
+        # 7 events with compact_every=4: at least one compaction ran.
+        assert (tmp_path / "journal.jsonl.snap").exists()
+        assert replayed(tmp_path).jobs == store.jobs
+        store.close()
