@@ -59,7 +59,7 @@ TRAJECTORY_PATH = REPO_ROOT / "BENCH_sweep.json"
 # The campaign: 2 axes x (2*4) = 8 cartesian points.
 AXES = {
     "l2_mode": ["shared", "private"],
-    "noc_latency": [2, 4, 6, 8],
+    "noc.latency": [2, 4, 6, 8],
 }
 DIFFERENTIAL_METRICS = ("cycles", "instructions", "l1d_miss_rate")
 

@@ -20,8 +20,8 @@ ROWS = 64
 
 @pytest.mark.parametrize("latency", [2, 6, 12, 24])
 def test_crossbar_latency_sweep(benchmark, latency):
-    config = SimulationConfig.for_cores(CORES, noc_kind="crossbar",
-                                        noc_latency=latency)
+    config = SimulationConfig.for_cores(
+        CORES, **{"noc.kind": "crossbar", "noc.latency": latency})
     results = bench_coyote(
         benchmark,
         lambda: spmv_csr_gather_accum(num_rows=ROWS, nnz_per_row=8,
@@ -32,8 +32,8 @@ def test_crossbar_latency_sweep(benchmark, latency):
 
 
 def test_mesh_extension(benchmark):
-    config = SimulationConfig.for_cores(CORES, noc_kind="mesh",
-                                        mesh_columns=4)
+    config = SimulationConfig.for_cores(
+        CORES, **{"noc.kind": "mesh", "noc.columns": 4})
     results = bench_coyote(
         benchmark,
         lambda: spmv_csr_gather_accum(num_rows=ROWS, nnz_per_row=8,

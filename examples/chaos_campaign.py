@@ -19,11 +19,11 @@ import time
 from repro.api import QuarantinedPoint, RetryPolicy, Sweep, SupervisorPolicy
 from repro.kernels import vector_axpy
 
-WEDGE, CRASH = 31, 35  # poison noc_latency values (any int is legal)
+WEDGE, CRASH = 31, 35  # poison noc.latency values (any int is legal)
 
 
 def chaos_factory(settings):
-    mode = settings.get("noc_latency")
+    mode = settings.get("noc.latency")
     if mode == WEDGE:
         while True:
             time.sleep(0.05)
@@ -34,7 +34,7 @@ def chaos_factory(settings):
 
 def main() -> None:
     sweep = Sweep(base_cores=2,
-                  axes={"noc_latency": [2, WEDGE, CRASH, 6]})
+                  axes={"noc.latency": [2, WEDGE, CRASH, 6]})
     policy = SupervisorPolicy(
         point_timeout_seconds=2.0,
         heartbeat_interval_seconds=0.05,

@@ -17,7 +17,7 @@ def main() -> None:
         axes={
             "l2_mode": ["shared", "private"],
             "mapping_policy": ["set-interleaving", "page-to-bank"],
-            "noc_latency": [2, 12],
+            "noc.latency": [2, 12],
         },
         workers=2, on_error="skip")
 

@@ -41,6 +41,7 @@ from repro.coyote.sweep import (
     SweepTable,
 )
 from repro.kernels import KERNELS, instantiate
+from repro.memhier.noc import NocConfig, RoutingPolicy
 from repro.resilience.checkpoint import (
     CampaignCorruptError,
     CheckpointError,
@@ -98,6 +99,8 @@ __all__ = [
     # simulation
     "Simulation",
     "SimulationConfig",
+    "NocConfig",
+    "RoutingPolicy",
     "ConfigBuilder",
     "SimulationResults",
     "CoreStats",

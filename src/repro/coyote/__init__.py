@@ -13,8 +13,10 @@ import importlib
 _API_NAMES = frozenset({
     "ConfigBuilder",
     "CoreStats",
+    "NocConfig",
     "ParallelSweep",
     "RemoteError",
+    "RoutingPolicy",
     "Simulation",
     "SimulationConfig",
     "SimulationError",

@@ -10,7 +10,7 @@ Design-space campaigns run through the ``sweep`` subcommand, fanning
 the cartesian points out to a worker pool::
 
     coyote-sim sweep --kernel scalar-matmul --cores 2 --size 8 \\
-               --axes l2_mode=shared,private --axes noc_latency=2,6 \\
+               --axes l2_mode=shared,private --axes noc.latency=2,6 \\
                --workers 4 --on-error skip
 
 Exit codes follow a fixed taxonomy so campaign scripts can triage
@@ -82,10 +82,36 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mapping", choices=policy_names(),
                         default="set-interleaving",
                         help="address-to-bank mapping policy")
-    parser.add_argument("--noc", choices=("crossbar", "mesh"),
-                        default="crossbar", help="NoC model")
-    parser.add_argument("--noc-latency", type=int, default=6,
-                        help="crossbar NoC latency in cycles")
+    noc = parser.add_argument_group("interconnect")
+    noc.add_argument("--noc-topology", choices=("crossbar", "mesh",
+                                                "torus"),
+                     default="crossbar", dest="noc_topology",
+                     help="interconnect model (mesh/torus enable the "
+                          "contention model)")
+    noc.add_argument("--noc-routing", choices=("xy", "yx", "adaptive"),
+                     default="xy",
+                     help="mesh/torus routing policy")
+    noc.add_argument("--noc-columns", type=int, default=4,
+                     help="mesh/torus grid width in routers")
+    noc.add_argument("--noc-router-latency", type=int, default=1,
+                     help="cycles through each mesh/torus router")
+    noc.add_argument("--noc-link-latency", type=int, default=1,
+                     help="cycles on each router-to-router link")
+    noc.add_argument("--noc-link-capacity", type=int, default=1,
+                     help="flit-bursts one link carries per cycle")
+    noc.add_argument("--noc-wrap", action="store_true",
+                     help="wrap-around links on a mesh (implied by "
+                          "--noc-topology torus)")
+    noc.add_argument("--noc-crossbar-latency", type=int, default=6,
+                     dest="noc_crossbar_latency",
+                     help="crossbar NoC latency in cycles")
+    noc.add_argument("--noc", choices=("crossbar", "mesh", "torus"),
+                     dest="noc_topology", action=_DeprecatedAlias,
+                     canonical="--noc-topology", help=argparse.SUPPRESS)
+    noc.add_argument("--noc-latency", type=int,
+                     dest="noc_crossbar_latency", action=_DeprecatedAlias,
+                     canonical="--noc-crossbar-latency",
+                     help=argparse.SUPPRESS)
     parser.add_argument("--mem-latency", type=int, default=100,
                         help="memory access latency in cycles")
     parser.add_argument("--vlen", type=int, default=512,
@@ -210,8 +236,14 @@ def build_profile_parser() -> argparse.ArgumentParser:
     parser.add_argument("--mapping", choices=policy_names(),
                         default="set-interleaving",
                         help="address-to-bank mapping policy")
-    parser.add_argument("--noc-latency", type=int, default=6,
+    parser.add_argument("--noc-crossbar-latency", type=int, default=6,
+                        dest="noc_crossbar_latency",
                         help="crossbar NoC latency in cycles")
+    parser.add_argument("--noc-latency", type=int,
+                        dest="noc_crossbar_latency",
+                        action=_DeprecatedAlias,
+                        canonical="--noc-crossbar-latency",
+                        help=argparse.SUPPRESS)
     parser.add_argument("--mem-latency", type=int, default=100,
                         help="memory access latency in cycles")
     parser.add_argument("--vlen", type=int, default=512,
@@ -252,11 +284,12 @@ def profile_main(argv: list[str]) -> int:
                         f"output directory does not exist: {directory}")
         config = SimulationConfig.for_cores(
             args.cores, l2_mode=args.l2_mode,
-            mapping_policy=args.mapping, noc_latency=args.noc_latency,
+            mapping_policy=args.mapping,
             mem_latency=args.mem_latency, vlen_bits=args.vlen,
             telemetry=TelemetryConfig(
                 guest_profile=True,
-                chrome_trace=args.chrome_trace is not None))
+                chrome_trace=args.chrome_trace is not None),
+            **{"noc.latency": args.noc_crossbar_latency})
         config.validate()
     except ValueError as exc:
         print(f"configuration error: {exc}", file=sys.stderr)
@@ -598,7 +631,7 @@ def parse_axis_token(token: str):
 
 
 def parse_axes(specs: list[str]) -> dict[str, list]:
-    """``["l2_mode=shared,private", "noc_latency=2,6"]`` -> axes dict."""
+    """``["l2_mode=shared,private", "noc.latency=2,6"]`` -> axes dict."""
     axes: dict[str, list] = {}
     for spec in specs:
         name, separator, values = spec.partition("=")
@@ -770,12 +803,19 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 config = SimulationConfig.for_cores(
                     args.cores, l2_mode=args.l2_mode,
-                    mapping_policy=args.mapping, noc_kind=args.noc,
-                    noc_latency=args.noc_latency,
+                    mapping_policy=args.mapping,
                     mem_latency=args.mem_latency,
                     vlen_bits=args.vlen,
                     translate=not args.no_translate,
-                    trace_misses=args.trace is not None)
+                    trace_misses=args.trace is not None,
+                    **{"noc.kind": args.noc_topology,
+                       "noc.latency": args.noc_crossbar_latency,
+                       "noc.routing": args.noc_routing,
+                       "noc.columns": args.noc_columns,
+                       "noc.router_latency": args.noc_router_latency,
+                       "noc.link_latency": args.noc_link_latency,
+                       "noc.link_capacity": args.noc_link_capacity,
+                       "noc.wrap": args.noc_wrap})
             resilience = config.resilience
             if args.inject is not None:
                 FaultPlan.load(args.inject).apply(resilience)

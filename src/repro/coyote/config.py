@@ -13,13 +13,44 @@ from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
 from repro.memhier.hierarchy import MemHierConfig
+from repro.memhier.noc import NocConfig
 from repro.resilience.config import ResilienceConfig
 from repro.spike.simulator import L1Config
 from repro.telemetry.config import TelemetryConfig
 from repro.utils.bitops import is_power_of_two
+from repro.utils.deprecation import warn_deprecated
 
 DEFAULT_CORES_PER_TILE = 8   # one VAS tile holds eight cores (paper §I-A)
 DEFAULT_BANKS_PER_TILE = 2
+
+# Pre-NocConfig flat spellings, still accepted (with a deprecation
+# warning) as for_cores overrides and in saved config files.
+_LEGACY_NOC_FIELDS = {
+    "noc_kind": "kind",
+    "noc_latency": "latency",
+    "mesh_columns": "columns",
+}
+
+
+def _split_noc_overrides(overrides: dict) -> tuple[dict, dict]:
+    """Separate dotted ``noc.*`` keys (and deprecated flat spellings)
+    from the remaining ``for_cores`` overrides."""
+    noc_overrides: dict = {}
+    rest: dict = {}
+    for key, value in overrides.items():
+        legacy = _LEGACY_NOC_FIELDS.get(key)
+        if legacy is not None:
+            warn_deprecated(f"the {key!r} override",
+                            f"'noc.{legacy}'", stacklevel=4)
+            noc_overrides[legacy] = value
+        elif key.startswith("noc."):
+            noc_overrides[key[len("noc."):]] = value
+        else:
+            rest[key] = value
+    unknown = set(noc_overrides) - set(NocConfig.__dataclass_fields__)
+    if unknown:
+        raise ValueError(f"unknown noc.* override(s): {sorted(unknown)}")
+    return noc_overrides, rest
 
 
 @dataclass
@@ -44,6 +75,11 @@ class SimulationConfig:
     @property
     def num_cores(self) -> int:
         return self.memhier.num_cores
+
+    @property
+    def noc(self) -> NocConfig:
+        """The interconnect configuration (``memhier.noc``)."""
+        return self.memhier.noc
 
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent settings."""
@@ -74,7 +110,11 @@ class SimulationConfig:
         ``DEFAULT_CORES_PER_TILE`` cores; smaller (power-of-two) counts use
         a single partial tile.  Keyword overrides are applied to the
         :class:`MemHierConfig` (for its field names) or to the
-        ``SimulationConfig`` itself.
+        ``SimulationConfig`` itself.  Interconnect fields are addressed
+        with dotted keys (``**{"noc.kind": "torus", "noc.routing":
+        "adaptive"}``) or by passing a whole ``noc=NocConfig(...)``; the
+        pre-``NocConfig`` flat spellings (``noc_kind=``, ``noc_latency=``,
+        ``mesh_columns=``) still work but warn.
         """
         if num_cores < 1:
             raise ValueError(f"need at least one core, got {num_cores}")
@@ -93,12 +133,19 @@ class SimulationConfig:
         else:
             memhier = MemHierConfig(num_tiles=1, cores_per_tile=num_cores,
                                     banks_per_tile=DEFAULT_BANKS_PER_TILE)
+        noc_overrides, overrides = _split_noc_overrides(overrides)
         memhier_fields = set(MemHierConfig.__dataclass_fields__)
         memhier_overrides = {key: value for key, value in overrides.items()
                              if key in memhier_fields}
         config_overrides = {key: value for key, value in overrides.items()
                             if key not in memhier_fields}
         memhier = replace(memhier, **memhier_overrides)
+        if noc_overrides:
+            # Dotted keys layer on top of a whole-object noc= override.
+            memhier = replace(
+                memhier,
+                noc=replace(NocConfig.from_value(memhier.noc),
+                            **noc_overrides))
         return cls(memhier=memhier, **config_overrides)
 
     # -- serialisation --------------------------------------------------------
@@ -111,10 +158,23 @@ class SimulationConfig:
     def from_dict(cls, data: dict) -> "SimulationConfig":
         """Rebuild a configuration from :meth:`to_dict` output.
 
-        Unknown keys raise, so stale config files fail loudly.
+        Unknown keys raise, so stale config files fail loudly.  The one
+        exception: pre-``NocConfig`` files spelling the interconnect as
+        flat ``noc_kind``/``noc_latency``/``mesh_columns`` keys still
+        load, with a deprecation warning.
         """
         data = dict(data)
-        memhier = MemHierConfig(**data.pop("memhier", {}))
+        memhier_data = dict(data.pop("memhier", {}))
+        noc = NocConfig.from_value(memhier_data.pop("noc", None))
+        legacy = {}
+        for old, new in _LEGACY_NOC_FIELDS.items():
+            if old in memhier_data:
+                warn_deprecated(f"the config key 'memhier.{old}'",
+                                f"'memhier.noc.{new}'")
+                legacy[new] = memhier_data.pop(old)
+        if legacy:
+            noc = replace(noc, **legacy)
+        memhier = MemHierConfig(noc=noc, **memhier_data)
         l1 = L1Config(**data.pop("l1", {}))
         telemetry = TelemetryConfig(**data.pop("telemetry", {}))
         resilience = ResilienceConfig.from_dict(
@@ -174,11 +234,30 @@ class ConfigBuilder:
     def mapping(self, policy: str) -> "ConfigBuilder":
         return self.set(mapping_policy=policy)
 
-    def noc(self, kind: str) -> "ConfigBuilder":
-        return self.set(noc_kind=kind)
+    def noc(self, kind: str | NocConfig | None = None,
+            **options) -> "ConfigBuilder":
+        """Configure the interconnect.
+
+        Accepts a whole :class:`NocConfig`, a kind string
+        (``"crossbar"``/``"mesh"``/``"torus"``), keyword options naming
+        ``NocConfig`` fields (``routing=``, ``columns=``,
+        ``link_capacity=``, ...), or any combination of kind and
+        options: ``builder.noc("torus", routing="adaptive")``.
+        """
+        if isinstance(kind, NocConfig):
+            self.set(noc=kind)
+        elif kind is not None:
+            self.set(**{"noc.kind": kind})
+        if options:
+            self.set(**{f"noc.{name}": value
+                        for name, value in options.items()})
+        return self
 
     def noc_latency(self, cycles: int) -> "ConfigBuilder":
-        return self.set(noc_latency=cycles)
+        """Deprecated spelling of ``noc(latency=...)``."""
+        warn_deprecated("ConfigBuilder.noc_latency()",
+                        "ConfigBuilder.noc(latency=...)")
+        return self.set(**{"noc.latency": cycles})
 
     def mem_latency(self, cycles: int) -> "ConfigBuilder":
         return self.set(mem_latency=cycles)

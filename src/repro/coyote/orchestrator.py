@@ -46,6 +46,7 @@ from repro.coyote.config import SimulationConfig
 from repro.coyote.errors import SimulationError
 from repro.coyote.stats import CoreStats, SimulationResults
 from repro.memhier.hierarchy import MemoryHierarchy
+from repro.memhier.noc import MeshNoC
 from repro.memhier.request import MemRequest, RequestKind
 from repro.resilience.faults import FaultInjector
 from repro.resilience.invariants import InvariantChecker
@@ -174,6 +175,16 @@ class Orchestrator:
             if observer is not None:
                 self.hierarchy.noc.latency_observer = observer
             self._chrome = self.telemetry.chrome
+            noc = self.hierarchy.noc
+            if isinstance(noc, MeshNoC):
+                # Contention-model extras: per-hop queueing-delay
+                # histogram and the Chrome in-flight counter track.
+                queue_observer = self.telemetry.noc_queue_observer()
+                if queue_observer is not None:
+                    noc.queue_observer = queue_observer
+                if self._chrome is not None:
+                    noc.occupancy_sink = \
+                        self._chrome.observe_noc_occupancy
             guestprof = self.telemetry.guestprof
             if guestprof is not None:
                 # Retire hooks live inside CoreModel.step; the

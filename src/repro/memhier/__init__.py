@@ -11,7 +11,15 @@ from repro.memhier.mapping import (
     policy_names,
 )
 from repro.memhier.memctrl import MemoryController
-from repro.memhier.noc import CrossbarNoC, MeshNoC, NocError, make_noc
+from repro.memhier.noc import (
+    CrossbarNoC,
+    MeshNoC,
+    NocConfig,
+    NocError,
+    NocMessage,
+    RoutingPolicy,
+    make_noc,
+)
 from repro.memhier.request import MemRequest, RequestKind
 from repro.memhier.tagarray import TagArray
 
@@ -25,9 +33,12 @@ __all__ = [
     "MemoryController",
     "MemoryHierarchy",
     "MeshNoC",
+    "NocConfig",
     "NocError",
+    "NocMessage",
     "PageToBank",
     "RequestKind",
+    "RoutingPolicy",
     "SetInterleaving",
     "TagArray",
     "make_noc",

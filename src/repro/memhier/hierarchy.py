@@ -17,13 +17,13 @@ The orchestrator interacts through two methods:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.memhier.l2bank import L2Bank
 from repro.memhier.mapping import MappingPolicy, make_policy, policy_names
 from repro.memhier.memctrl import MemoryController
-from repro.memhier.noc import CrossbarNoC, make_noc
+from repro.memhier.noc import CrossbarNoC, NocConfig, make_noc
 from repro.memhier.request import MemRequest, RequestKind
 from repro.sparta.scheduler import Scheduler
 from repro.sparta.statistics import StatSample
@@ -61,9 +61,10 @@ class MemHierConfig:
     l3_hit_latency: int = 24
     l3_miss_latency: int = 6
     l3_max_in_flight: int = 32
-    noc_kind: str = "crossbar"           # "crossbar" | "mesh"
-    noc_latency: int = 6
-    mesh_columns: int = 4
+    # The interconnect, as a structured value object ("crossbar" by
+    # default; "mesh"/"torus" enable the contention model).  Sweepable
+    # through ``SimulationConfig.for_cores`` as dotted ``noc.*`` keys.
+    noc: NocConfig = field(default_factory=NocConfig)
     num_memory_controllers: int = 2
     mem_latency: int = 100
     mem_cycles_per_request: int = 2
@@ -73,8 +74,14 @@ class MemHierConfig:
     # handled at the memory controller, instead of per-line L2 requests.
     mcpu_aggregation: bool = False
 
+    def __post_init__(self) -> None:
+        # Config files hand the noc section over as a plain dict.
+        if not isinstance(self.noc, NocConfig):
+            self.noc = NocConfig.from_value(self.noc)
+
     def validate(self) -> None:
         """Raise ``ValueError`` for inconsistent parameters."""
+        self.noc.validate()
         if self.num_tiles < 1 or self.cores_per_tile < 1 \
                 or self.banks_per_tile < 1:
             raise ValueError("tiles, cores/tile and banks/tile must be >= 1")
@@ -84,9 +91,6 @@ class MemHierConfig:
         if self.mapping_policy not in policy_names():
             raise ValueError(f"unknown mapping policy "
                              f"{self.mapping_policy!r}")
-        if self.noc_kind not in ("crossbar", "mesh"):
-            raise ValueError(f"noc_kind must be crossbar|mesh, "
-                             f"got {self.noc_kind!r}")
         if not is_power_of_two(self.num_memory_controllers):
             raise ValueError("number of memory controllers must be a "
                              "power of two")
@@ -125,11 +129,7 @@ class MemoryHierarchy:
         # fired with each completed request, after trace_sink.
         self.telemetry_sink: Callable[[MemRequest], None] | None = None
 
-        noc_kwargs = ({"latency": config.noc_latency}
-                      if config.noc_kind == "crossbar"
-                      else {"columns": config.mesh_columns})
-        self.noc: CrossbarNoC = make_noc(config.noc_kind, "noc", self.root,
-                                         **noc_kwargs)
+        self.noc: CrossbarNoC = make_noc(config.noc, "noc", self.root)
         self.noc.attach(_TILESIDE, self._handle_response)
 
         # Bank-mapping policy: over all banks (shared) or per tile
@@ -169,9 +169,11 @@ class MemoryHierarchy:
                     send=self.noc.route,
                     next_level_of=self._mc_endpoint_of,
                     records_bank_id=False)
+                # Request and fill ports share the bank's router.
                 self.noc.attach(l3_bank.endpoint, l3_bank.handle_request)
                 self.noc.attach(l3_bank.fill_endpoint,
-                                l3_bank.handle_fill)
+                                l3_bank.handle_fill,
+                                station=l3_bank.endpoint)
                 self.l3_banks.append(l3_bank)
             l2_next_level = self._l3_endpoint_of
         else:
@@ -198,7 +200,8 @@ class MemoryHierarchy:
                     next_level_of=l2_next_level,
                     cycles_per_request=config.l2_cycles_per_request)
                 self.noc.attach(bank.endpoint, bank.handle_request)
-                self.noc.attach(bank.fill_endpoint, bank.handle_fill)
+                self.noc.attach(bank.fill_endpoint, bank.handle_fill,
+                                station=bank.endpoint)
                 self.banks.append(bank)
 
         stats = self.root.stats

@@ -11,6 +11,7 @@ request the hierarchy still owes a response.
 
 from __future__ import annotations
 
+from repro.memhier.noc import NocMessage
 from repro.memhier.request import MemRequest
 
 
@@ -43,6 +44,10 @@ def in_flight_requests(orchestrator) -> list[dict]:
     for _cycle, _priority, _seq, _callback, args \
             in orchestrator.scheduler.iter_events():
         for arg in args:
+            if isinstance(arg, NocMessage):
+                # Contention-model traffic wraps its payload in a
+                # NocMessage while hopping between routers.
+                arg = arg.payload
             if wants_response(arg):
                 found.append(_describe_request(arg, now, "scheduler"))
     for bank in hierarchy.all_cache_banks():
@@ -56,6 +61,21 @@ def in_flight_requests(orchestrator) -> list[dict]:
                 found.append(_describe_request(
                     queued, now, f"{bank.path}.pending_queue"))
     return found
+
+
+def in_network_messages(orchestrator) -> int:
+    """The number of :class:`NocMessage` objects physically present in
+    the scheduler — the ground truth the mesh/torus occupancy gauge and
+    flit-conservation invariant are checked against.  At a cycle-loop
+    boundary every in-network message owns exactly one pending event
+    (its next hop or its delivery)."""
+    count = 0
+    for _cycle, _priority, _seq, _callback, args \
+            in orchestrator.scheduler.iter_events():
+        for arg in args:
+            if isinstance(arg, NocMessage):
+                count += 1
+    return count
 
 
 def core_states(orchestrator) -> list[dict]:

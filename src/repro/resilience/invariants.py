@@ -18,6 +18,7 @@ MSHR waiter list, or a bank pending queue.
 from __future__ import annotations
 
 from repro.coyote.errors import SimulationError
+from repro.memhier.noc import MeshNoC
 from repro.resilience import introspect
 
 
@@ -120,6 +121,14 @@ class InvariantChecker:
                               f"{miss['core_id']}" for miss in orphans),
                 "orphans": orphans,
             })
+
+        # NoC flit conservation (mesh/torus contention model): the
+        # link queues must neither lose nor duplicate messages, and the
+        # occupancy gauge must agree with the event queue.
+        noc = orchestrator.hierarchy.noc
+        if isinstance(noc, MeshNoC):
+            violations.extend(noc.check_conservation(
+                introspect.in_network_messages(orchestrator)))
 
         # Scoreboard internal consistency: the per-register busy
         # refcounts must equal a recount over the pending misses.

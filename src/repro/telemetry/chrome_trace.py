@@ -79,6 +79,11 @@ class ChromeTraceBuilder:
                             "tid": tid, "ts": cycle,
                             "args": dict(values)})
 
+    def observe_noc_occupancy(self, cycle: int, in_flight: int) -> None:
+        """One sample on the NoC in-flight-messages counter track (a
+        bound method, so a NoC holding it stays picklable)."""
+        self.counter("noc-in-flight", cycle, {"messages": in_flight})
+
     def instant(self, name: str, cycle: int,
                 args: dict | None = None) -> None:
         """Drop a global instant marker (fault injections, watchdog

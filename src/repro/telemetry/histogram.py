@@ -100,7 +100,9 @@ class RequestLatencyRecorder:
     * ``bank.bankN`` — end-to-end latency of requests served via bank N;
     * ``mc.mcN`` — end-to-end latency of requests that reached memory
       controller N;
-    * ``noc`` — single NoC traversal latency per routed message.
+    * ``noc`` — single NoC traversal latency per routed message;
+    * ``noc_queue`` — per-hop link queueing delay under the mesh/torus
+      contention model (0 on an uncontended hop).
     """
 
     def __init__(self):
@@ -131,6 +133,11 @@ class RequestLatencyRecorder:
     def observe_noc(self, latency: int) -> None:
         """The NoC latency-observer entry point."""
         self.record("noc", latency)
+
+    def observe_noc_queue(self, wait: int) -> None:
+        """The mesh/torus queue-observer entry point (link wait per
+        hop)."""
+        self.record("noc_queue", wait)
 
     def to_dict(self) -> dict:
         return {key: histogram.to_dict()

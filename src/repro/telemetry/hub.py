@@ -76,3 +76,10 @@ class Telemetry:
         if self.latency is not None:
             return self.latency.observe_noc
         return None
+
+    def noc_queue_observer(self) -> Callable[[int], None] | None:
+        """A per-hop link queueing-delay callback (mesh/torus
+        contention model), or None."""
+        if self.latency is not None:
+            return self.latency.observe_noc_queue
+        return None

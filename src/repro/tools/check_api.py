@@ -35,6 +35,7 @@ FACADED_PACKAGES = ("repro.coyote", "repro.resilience", "repro.service")
 # removal window closes: (module, attribute-path).
 DEPRECATED_SHIMS = (
     ("repro.coyote.sweep", "SweepTable.format"),
+    ("repro.coyote.config", "ConfigBuilder.noc_latency"),
     ("repro.resilience.faults", "load_fault_plan"),
 )
 
@@ -42,6 +43,9 @@ DEPRECATED_SHIMS = (
 # were announced public; losing one is an API break even if the routing
 # bookkeeping stays self-consistent).
 REQUIRED_FACADE_NAMES = (
+    # the structured interconnect configuration
+    "NocConfig",
+    "RoutingPolicy",
     # the supervised campaign runtime
     "SupervisorPolicy",
     "RetryPolicy",

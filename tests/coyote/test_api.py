@@ -40,15 +40,17 @@ class TestRun:
             == by_factory.results.cycles
 
     def test_overrides_flow_into_config(self):
-        fast = run("vector-axpy", cores=2, size=64, noc_latency=2)
-        slow = run("vector-axpy", cores=2, size=64, noc_latency=12)
+        fast = run("vector-axpy", cores=2, size=64,
+                   **{"noc.latency": 2})
+        slow = run("vector-axpy", cores=2, size=64,
+                   **{"noc.latency": 12})
         assert slow.results.cycles > fast.results.cycles
 
     def test_config_and_overrides_are_exclusive(self):
         config = SimulationConfig.for_cores(2)
         with pytest.raises(ValueError, match="not both"):
             run("scalar-matmul", cores=2, size=6, config=config,
-                noc_latency=4)
+                **{"noc.latency": 4})
 
     def test_unknown_kernel_names_the_choices(self):
         with pytest.raises(ValueError, match="unknown kernel"):
@@ -58,15 +60,16 @@ class TestRun:
 class TestSweepFacade:
     def test_sweep_matches_direct_run(self):
         table = sweep("scalar-matmul", cores=2, size=6,
-                      axes={"noc_latency": [2, 6]})
+                      axes={"noc.latency": [2, 6]})
         assert len(table.points) == 2
-        direct = run("scalar-matmul", cores=2, size=6, noc_latency=2)
+        direct = run("scalar-matmul", cores=2, size=6,
+                     **{"noc.latency": 2})
         assert table.points[0].metric("cycles") \
             == direct.results.cycles
 
     def test_sweep_with_workers(self):
         table = sweep("scalar-matmul", cores=2, size=6,
-                      axes={"noc_latency": [2, 6]}, workers=2)
+                      axes={"noc.latency": [2, 6]}, workers=2)
         assert [point.failed for point in table.points] == [False, False]
         assert table.workers == 2
 
@@ -97,10 +100,11 @@ class TestReplay:
 class TestConfigBuilder:
     def test_builder_matches_for_cores(self):
         built = (SimulationConfig.builder(4)
-                 .l2_mode("private").noc_latency(6).vlen(512)
+                 .l2_mode("private").noc(latency=6).vlen(512)
                  .build())
         direct = SimulationConfig.for_cores(
-            4, l2_mode="private", noc_latency=6, vlen_bits=512)
+            4, l2_mode="private", vlen_bits=512,
+            **{"noc.latency": 6})
         assert built == direct
 
     def test_builder_is_exported_everywhere(self):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.coyote.config import SimulationConfig
+from repro.memhier.noc import NocConfig
 from repro.spike.simulator import L1Config
 
 
@@ -38,10 +39,34 @@ class TestForCores:
     def test_memhier_overrides(self):
         config = SimulationConfig.for_cores(
             8, l2_mode="private", mapping_policy="page-to-bank",
-            noc_latency=12)
+            **{"noc.latency": 12})
         assert config.memhier.l2_mode == "private"
         assert config.memhier.mapping_policy == "page-to-bank"
-        assert config.memhier.noc_latency == 12
+        assert config.memhier.noc.latency == 12
+        assert config.noc.latency == 12  # the SimulationConfig view
+
+    def test_noc_overrides(self):
+        config = SimulationConfig.for_cores(
+            8, **{"noc.kind": "torus", "noc.routing": "adaptive",
+                  "noc.columns": 2, "noc.link_capacity": 2})
+        noc = config.noc
+        assert noc.kind == "torus" and noc.wrap
+        assert noc.routing == "adaptive"
+        assert noc.columns == 2 and noc.link_capacity == 2
+
+    def test_whole_noc_object_override(self):
+        noc = NocConfig(kind="mesh", columns=2)
+        config = SimulationConfig.for_cores(8, noc=noc)
+        assert config.noc == noc
+        # Dotted keys layer on top of the whole-object override.
+        layered = SimulationConfig.for_cores(
+            8, noc=noc, **{"noc.routing": "yx"})
+        assert layered.noc.columns == 2
+        assert layered.noc.routing == "yx"
+
+    def test_unknown_noc_override_rejected(self):
+        with pytest.raises(ValueError):
+            SimulationConfig.for_cores(8, **{"noc.bogus": 1})
 
     def test_config_level_overrides(self):
         config = SimulationConfig.for_cores(8, vlen_bits=1024,

@@ -12,9 +12,17 @@ class TestSerialisation:
     def test_round_trip(self):
         config = SimulationConfig.for_cores(
             16, l2_mode="private", mapping_policy="page-to-bank",
-            noc_kind="mesh", vlen_bits=1024, l3_enable=True)
+            vlen_bits=1024, l3_enable=True, **{"noc.kind": "mesh"})
         rebuilt = SimulationConfig.from_dict(config.to_dict())
         assert rebuilt == config
+
+    def test_round_trip_torus(self):
+        config = SimulationConfig.for_cores(
+            16, **{"noc.kind": "torus", "noc.routing": "adaptive",
+                   "noc.link_capacity": 2, "noc.columns": 2})
+        rebuilt = SimulationConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+        assert rebuilt.noc.wrap
 
     def test_save_load(self, tmp_path):
         config = SimulationConfig.for_cores(8, mem_latency=250)

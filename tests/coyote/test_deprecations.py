@@ -13,6 +13,7 @@ import warnings
 import pytest
 
 from repro.coyote.cli import build_parser
+from repro.coyote.config import SimulationConfig
 from repro.coyote.sweep import Sweep
 from repro.kernels import vector_axpy
 from repro.resilience.faults import FaultPlan, load_fault_plan
@@ -31,7 +32,7 @@ def make_axpy():
 
 
 def run_tiny_sweep():
-    return Sweep(base_cores=2, axes={"noc_latency": [2]}).run(make_axpy)
+    return Sweep(base_cores=2, axes={"noc.latency": [2]}).run(make_axpy)
 
 
 class TestSweepTableFormat:
@@ -70,6 +71,105 @@ class TestLoadFaultPlan:
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             FaultPlan.load(path)
+
+
+class TestFlatNocOverrides:
+    def test_each_legacy_key_warns_once_and_forwards(self):
+        for legacy, value, attr in (("noc_kind", "mesh", "kind"),
+                                    ("noc_latency", 3, "latency"),
+                                    ("mesh_columns", 2, "columns")):
+            with pytest.warns(DeprecationWarning,
+                              match=rf"the '{legacy}' override is "
+                                    rf"deprecated") as record:
+                config = SimulationConfig.for_cores(2, **{legacy: value})
+            assert len(record) == 1
+            assert getattr(config.noc, attr) == value
+
+    def test_legacy_and_canonical_configs_are_equal(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = SimulationConfig.for_cores(
+                4, noc_kind="mesh", noc_latency=3, mesh_columns=2)
+        canonical = SimulationConfig.for_cores(
+            4, **{"noc.kind": "mesh", "noc.latency": 3,
+                  "noc.columns": 2})
+        assert legacy == canonical
+
+    def test_dotted_spellings_stay_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SimulationConfig.for_cores(
+                2, **{"noc.kind": "torus", "noc.routing": "yx"})
+
+    def test_from_dict_translates_legacy_memhier_keys(self):
+        data = SimulationConfig.for_cores(2).to_dict()
+        data["memhier"].pop("noc")
+        data["memhier"]["noc_kind"] = "mesh"
+        data["memhier"]["noc_latency"] = 4
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always", DeprecationWarning)
+            config = SimulationConfig.from_dict(data)
+        messages = sorted(str(entry.message) for entry in record)
+        assert len(messages) == 2  # one per legacy key
+        assert "the config key 'memhier.noc_kind' is deprecated" \
+            in messages[0]
+        assert "the config key 'memhier.noc_latency' is deprecated" \
+            in messages[1]
+        assert config.noc.kind == "mesh"
+        assert config.noc.latency == 4
+
+
+class TestConfigBuilderNocLatency:
+    def test_warns_once_and_forwards(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"ConfigBuilder\.noc_latency\(\) is "
+                                r"deprecated; use "
+                                r"ConfigBuilder\.noc\(latency=") as record:
+            built = SimulationConfig.builder(2).noc_latency(9).build()
+        assert len(record) == 1
+        assert built == SimulationConfig.builder(2).noc(latency=9).build()
+
+    def test_noc_method_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            SimulationConfig.builder(2).noc("mesh", latency=9).build()
+
+
+class TestNocCliAliases:
+    def test_noc_alias_warns_and_sets_topology(self):
+        parser = build_parser()
+        with pytest.warns(DeprecationWarning,
+                          match=r"--noc is deprecated; "
+                                r"use --noc-topology") as record:
+            args = parser.parse_args(
+                ["--kernel", "scalar-matmul", "--noc", "mesh"])
+        assert len(record) == 1
+        assert args.noc_topology == "mesh"
+
+    def test_noc_latency_alias_warns_and_sets_crossbar_latency(self):
+        parser = build_parser()
+        with pytest.warns(DeprecationWarning,
+                          match=r"--noc-latency is deprecated; "
+                                r"use --noc-crossbar-latency") as record:
+            args = parser.parse_args(
+                ["--kernel", "scalar-matmul", "--noc-latency", "9"])
+        assert len(record) == 1
+        assert args.noc_crossbar_latency == 9
+
+    def test_canonical_flags_stay_silent(self):
+        parser = build_parser()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            args = parser.parse_args(
+                ["--kernel", "scalar-matmul",
+                 "--noc-topology", "torus", "--noc-routing", "adaptive",
+                 "--noc-crossbar-latency", "9"])
+        assert args.noc_topology == "torus"
+        assert args.noc_routing == "adaptive"
+
+    def test_aliases_are_hidden_from_help(self):
+        help_text = build_parser().format_help()
+        assert "--noc-latency" not in help_text
+        assert "--noc " not in help_text
 
 
 class TestCheckpointAtAlias:

@@ -44,7 +44,7 @@ def make_axpy():
 
 def crashing_factory(settings):
     """Settings-aware factory: hard-kills the worker for one point."""
-    if settings.get("noc_latency") == 7:
+    if settings.get("noc.latency") == 7:
         os._exit(9)
     return scalar_matmul(size=6, num_cores=2)
 
@@ -54,7 +54,7 @@ class TestDifferential:
         # 2 axes, 4 points, two of which wedge and trip the watchdog.
         sweep = Sweep(base_cores=2,
                       axes={"resilience": [HEALTHY, WEDGED],
-                            "noc_latency": [2, 6]})
+                            "noc.latency": [2, 6]})
         serial = sweep.run(make_matmul, workers=1, on_error="skip")
         fanned = sweep.run(make_matmul, workers=4, on_error="skip")
         assert serial.to_dict(DIFFERENTIAL_METRICS) \
@@ -65,22 +65,22 @@ class TestDifferential:
 
     def test_all_healthy_differential(self):
         sweep = Sweep(base_cores=2, axes={"l2_mode": ["shared", "private"],
-                                          "noc_latency": [2, 6]})
+                                          "noc.latency": [2, 6]})
         serial = sweep.run(make_axpy, workers=1)
         fanned = sweep.run(make_axpy, workers=2)
         assert serial.to_dict(DIFFERENTIAL_METRICS) \
             == fanned.to_dict(DIFFERENTIAL_METRICS)
 
     def test_points_stay_in_axis_order(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [6, 2, 4]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [6, 2, 4]})
         table = sweep.run(make_axpy, workers=3)
-        assert [point.settings["noc_latency"]
+        assert [point.settings["noc.latency"]
                 for point in table.points] == [6, 2, 4]
 
 
 class TestCrashIsolation:
     def test_dead_worker_becomes_failed_point(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 7, 6]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 7, 6]})
         table = sweep.run(crashing_factory, workers=2, on_error="skip")
         assert [point.failed for point in table.points] \
             == [False, True, False]
@@ -92,7 +92,7 @@ class TestCrashIsolation:
         assert table.points[2].results is not None
 
     def test_crash_with_on_error_raise_aborts(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [7]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [7]})
         with pytest.raises(WorkerCrash):
             sweep.run(crashing_factory, workers=2, on_error="raise")
 
@@ -106,12 +106,12 @@ class TestCrashIsolation:
 
 class TestValidation:
     def test_workers_must_be_positive(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2]})
         with pytest.raises(ValueError, match="workers"):
             ParallelSweep(sweep, workers=0)
 
     def test_on_error_still_validated(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2]})
         with pytest.raises(ValueError, match="on_error"):
             sweep.run(make_axpy, on_error="ignore", workers=2)
 
@@ -122,7 +122,7 @@ def _counting_factory(settings):
 
 
 class TestCampaignWarmStart:
-    AXES = {"l2_mode": ["shared", "private"], "noc_latency": [2, 6]}
+    AXES = {"l2_mode": ["shared", "private"], "noc.latency": [2, 6]}
 
     def test_restart_skips_completed_points(self, tmp_path):
         campaign = tmp_path / "axpy.campaign"
@@ -168,7 +168,7 @@ class TestCampaignWarmStart:
         campaign = tmp_path / "axpy.campaign"
         Sweep(base_cores=2, axes=dict(self.AXES)).run(
             make_axpy, workers=1, campaign_path=campaign)
-        other = Sweep(base_cores=2, axes={"noc_latency": [3, 9]})
+        other = Sweep(base_cores=2, axes={"noc.latency": [3, 9]})
         with pytest.raises(CheckpointError, match="different sweep"):
             other.run(make_axpy, workers=1, campaign_path=campaign)
 
@@ -186,17 +186,17 @@ class TestSweepCli:
         out = tmp_path / "table.json"
         code = cli.main(["sweep", "--kernel", "scalar-matmul",
                          "--cores", "2", "--size", "6",
-                         "--axes", "noc_latency=2,6",
+                         "--axes", "noc.latency=2,6",
                          "--best", "cycles", "--out", str(out)])
         assert code == cli.EXIT_OK
         stdout = capsys.readouterr().out
-        assert "noc_latency" in stdout and "best cycles" in stdout
+        assert "noc.latency" in stdout and "best cycles" in stdout
         document = json.loads(out.read_text())
         assert len(document["points"]) == 2
         assert document["aggregate"]["failed"] == 0
 
-    @pytest.mark.parametrize("spec", ["bad==x", "noc_latency=2,,6",
-                                      "=2,6", "noc_latency"])
+    @pytest.mark.parametrize("spec", ["bad==x", "noc.latency=2,,6",
+                                      "=2,6", "noc.latency"])
     def test_malformed_axes_are_config_errors(self, spec, capsys):
         from repro.coyote import cli
         code = cli.main(["sweep", "--kernel", "scalar-matmul",
@@ -212,13 +212,13 @@ class TestSweepCli:
 
 class TestTableMetadata:
     def test_wall_seconds_and_workers_recorded(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2]})
         table = sweep.run(make_axpy, workers=2)
         assert table.workers == 2
         assert table.wall_seconds > 0
 
     def test_aggregate_rolls_up_metrics(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 6]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 6]})
         table = sweep.run(make_axpy, workers=2)
         aggregate = table.aggregate(("cycles",))
         assert aggregate["points"] == 2
@@ -230,7 +230,7 @@ class TestTableMetadata:
                                      for point in table.points)
 
     def test_host_facts_stay_out_of_canonical_dict(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2]})
         table = sweep.run(make_axpy, workers=2)
         document = table.to_dict(("cycles",))
         assert set(document) == {"axes", "points"}

@@ -94,5 +94,5 @@ class TestCli:
         exit_code = cli_main(["--kernel", "scalar-spmv", "--cores", "8",
                               "--size", "32", "--l2-mode", "private",
                               "--mapping", "page-to-bank",
-                              "--noc", "mesh"])
+                              "--noc-topology", "mesh"])
         assert exit_code == 0

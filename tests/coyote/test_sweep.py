@@ -14,7 +14,7 @@ class TestSweep:
     def test_cartesian_points(self):
         sweep = Sweep(base_cores=2,
                       axes={"l2_mode": ["shared", "private"],
-                            "noc_latency": [2, 6]})
+                            "noc.latency": [2, 6]})
         table = sweep.run(make_workload)
         assert len(table.points) == 4
         settings = [tuple(point.settings.values())
@@ -22,39 +22,39 @@ class TestSweep:
         assert len(set(settings)) == 4
 
     def test_points_verified(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 12]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 12]})
         table = sweep.run(make_workload)
         assert all(point.verified for point in table.points)
 
     def test_best_minimises_cycles(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 24]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 24]})
         table = sweep.run(make_workload)
-        assert table.best("cycles").settings["noc_latency"] == 2
+        assert table.best("cycles").settings["noc.latency"] == 2
 
     def test_best_maximises_when_asked(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 24]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 24]})
         table = sweep.run(make_workload)
         best = table.best("cycles", minimise=False)
-        assert best.settings["noc_latency"] == 24
+        assert best.settings["noc.latency"] == 24
 
     def test_metric_resolves_methods(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [6]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [6]})
         table = sweep.run(make_workload)
         assert 0.0 <= table.points[0].metric("l1d_miss_rate") <= 1.0
 
     def test_text_table(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 6]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 6]})
         table = sweep.run(make_workload)
         text = table.to_text(metrics=("cycles", "l1d_miss_rate"))
-        assert "noc_latency" in text and "cycles" in text
+        assert "noc.latency" in text and "cycles" in text
         assert len(text.splitlines()) == 4  # header + rule + 2 rows
 
     def test_base_overrides_apply(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [6]},
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [6]},
                       mem_latency=200)
         table = sweep.run(make_workload)
         slow = table.points[0].results.cycles
-        fast = Sweep(base_cores=2, axes={"noc_latency": [6]},
+        fast = Sweep(base_cores=2, axes={"noc.latency": [6]},
                      mem_latency=50).run(make_workload).points[0] \
             .results.cycles
         assert slow > fast
@@ -75,7 +75,7 @@ class TestMetricSemantics:
     def test_verification_failure_keeps_metrics(self):
         from repro.coyote.errors import SimulationError
         from repro.coyote.sweep import SweepPoint
-        healthy = Sweep(base_cores=2, axes={"noc_latency": [6]}) \
+        healthy = Sweep(base_cores=2, axes={"noc.latency": [6]}) \
             .run(make_workload).points[0]
         flagged = SweepPoint(settings=dict(healthy.settings),
                              results=healthy.results, verified=False,
@@ -85,7 +85,7 @@ class TestMetricSemantics:
 
     def test_resultless_point_raises_sweep_error(self):
         from repro.coyote.sweep import SweepError, SweepPoint
-        point = SweepPoint(settings={"noc_latency": 6}, results=None,
+        point = SweepPoint(settings={"noc.latency": 6}, results=None,
                            verified=False, error=RuntimeError("boom"))
         with pytest.raises(SweepError, match="failed before producing"):
             point.metric("cycles")

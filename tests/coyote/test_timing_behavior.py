@@ -33,9 +33,9 @@ class TestLatencyKnobs:
 
     def test_noc_latency_increases_cycles(self):
         fast = run(lambda: stream_triad(length=512, num_cores=4),
-                   noc_latency=1)
+                   **{"noc.latency": 1})
         slow = run(lambda: stream_triad(length=512, num_cores=4),
-                   noc_latency=30)
+                   **{"noc.latency": 30})
         assert slow.cycles > fast.cycles
 
     def test_l2_hit_latency_matters_with_reuse(self):

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.memhier.hierarchy import MemHierConfig, MemoryHierarchy
+from repro.memhier.noc import NocConfig
 from repro.memhier.request import MemRequest, RequestKind
 from repro.sparta.scheduler import Scheduler
 
@@ -85,7 +86,15 @@ class TestRequestFlow:
         assert len(traced) == 1
 
     def test_mesh_noc_variant(self):
-        hierarchy, scheduler, completed = make_hierarchy(noc_kind="mesh")
+        hierarchy, scheduler, completed = make_hierarchy(
+            noc=NocConfig(kind="mesh"))
+        hierarchy.submit(1, 0, 0x8000_0000, RequestKind.LOAD)
+        scheduler.run_until_idle()
+        assert len(completed) == 1
+
+    def test_torus_noc_variant(self):
+        hierarchy, scheduler, completed = make_hierarchy(
+            noc=NocConfig(kind="torus", routing="adaptive", columns=2))
         hierarchy.submit(1, 0, 0x8000_0000, RequestKind.LOAD)
         scheduler.run_until_idle()
         assert len(completed) == 1

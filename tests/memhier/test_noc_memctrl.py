@@ -3,7 +3,13 @@
 import pytest
 
 from repro.memhier.memctrl import MemoryController
-from repro.memhier.noc import CrossbarNoC, MeshNoC, NocError, make_noc
+from repro.memhier.noc import (
+    CrossbarNoC,
+    MeshNoC,
+    NocConfig,
+    NocError,
+    make_noc,
+)
 from repro.memhier.request import MemRequest, RequestKind
 from repro.sparta.scheduler import Scheduler
 from repro.sparta.unit import Unit
@@ -41,13 +47,16 @@ class TestCrossbar:
             noc.attach("a", lambda _: None)
 
     def test_message_counting(self, root):
+        # link_utilisation reports physical links: for a crossbar the
+        # per-endpoint port wires, not (source, destination) pairs.
         noc = CrossbarNoC("noc", root, latency=1)
         noc.attach("a", lambda _: None)
         noc.attach("b", lambda _: None)
         noc.route("a", "b", 1)
         noc.route("a", "b", 2)
         noc.route("b", "a", 3)
-        assert noc.link_utilisation() == {("a", "b"): 2, ("b", "a"): 1}
+        assert noc.link_utilisation() == {("a", "tx"): 2, ("b", "rx"): 2,
+                                          ("b", "tx"): 1, ("a", "rx"): 1}
 
     def test_negative_latency_rejected(self, root):
         with pytest.raises(ValueError):
@@ -82,8 +91,18 @@ class TestMesh:
     def test_factory(self, root):
         assert isinstance(make_noc("crossbar", "a", root), CrossbarNoC)
         assert isinstance(make_noc("mesh", "b", root), MeshNoC)
+        torus = make_noc("torus", "c", root)
+        assert isinstance(torus, MeshNoC) and torus.wrap
         with pytest.raises(ValueError):
-            make_noc("torus", "c", root)
+            make_noc("hypercube", "d", root)
+
+    def test_factory_from_config(self, root):
+        xbar = make_noc(NocConfig(latency=9), "e", root)
+        assert isinstance(xbar, CrossbarNoC) and xbar.latency == 9
+        mesh = make_noc(NocConfig(kind="mesh", columns=2,
+                                  routing="adaptive"), "f", root)
+        assert isinstance(mesh, MeshNoC)
+        assert mesh.columns == 2 and mesh.routing == "adaptive"
 
 
 def make_request(request_id=1, line=0x1000, kind=RequestKind.LOAD,

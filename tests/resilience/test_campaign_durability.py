@@ -26,7 +26,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.locking import CampaignLockError, PathLock
 
-AXES = {"noc_latency": [2, 6]}
+AXES = {"noc.latency": [2, 6]}
 METRICS = ("cycles", "instructions", "l1d_miss_rate")
 
 REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
@@ -121,7 +121,7 @@ checkpoint.os.replace = killer
 
 from repro.coyote.sweep import Sweep
 from repro.kernels import vector_axpy
-sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 6]})
+sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 6]})
 sweep.run(lambda settings: vector_axpy(length=32, num_cores=2),
           workers=1, on_error="skip", campaign_path=sys.argv[1])
 """

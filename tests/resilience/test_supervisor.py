@@ -37,7 +37,7 @@ from repro.resilience.checkpoint import load_campaign
 REPO_ROOT = Path(__file__).resolve().parent.parent.parent
 DIFFERENTIAL_METRICS = ("cycles", "instructions", "l1d_miss_rate")
 
-# Chaos modes, keyed off the noc_latency axis value (any int is a valid
+# Chaos modes, keyed off the noc.latency axis value (any int is a valid
 # latency, so the sweep configuration itself stays legal).
 HEALTHY = (2, 6)
 WEDGE = 31     # infinite loop; heartbeats keep flowing -> timeout
@@ -52,7 +52,7 @@ def _healthy_workload():
 
 def chaos_factory(settings):
     """Settings-aware factory with artificial failure modes."""
-    mode = settings.get("noc_latency")
+    mode = settings.get("noc.latency")
     if mode == WEDGE:
         while True:
             time.sleep(0.05)
@@ -89,7 +89,7 @@ def chaos_policy(**overrides) -> SupervisorPolicy:
 def chaos_run(tmp_path_factory):
     """One chaos campaign, run once and dissected by several tests."""
     campaign = tmp_path_factory.mktemp("chaos") / "chaos.campaign"
-    axes = {"noc_latency": [HEALTHY[0], WEDGE, LEAK, CRASH, SILENT,
+    axes = {"noc.latency": [HEALTHY[0], WEDGE, LEAK, CRASH, SILENT,
                             HEALTHY[1]]}
     sweep = Sweep(base_cores=2, axes=axes)
     policy = chaos_policy(max_rss_mb=supervision.worker_rss_mb() + 64)
@@ -102,7 +102,7 @@ class TestChaosCampaign:
     def test_campaign_terminates_with_poison_points_quarantined(
             self, chaos_run):
         _sweep, _policy, _campaign, table = chaos_run
-        by_mode = {point.settings["noc_latency"]: point
+        by_mode = {point.settings["noc.latency"]: point
                    for point in table.points}
         for mode in HEALTHY:
             assert not by_mode[mode].failed
@@ -117,7 +117,7 @@ class TestChaosCampaign:
 
     def test_attempt_outcomes_match_failure_modes(self, chaos_run):
         *_rest, table = chaos_run
-        by_mode = {point.settings["noc_latency"]: point
+        by_mode = {point.settings["noc.latency"]: point
                    for point in table.points}
         wedge = by_mode[WEDGE].error.attempts
         assert [record.outcome for record in wedge] \
@@ -140,12 +140,12 @@ class TestChaosCampaign:
     def test_healthy_points_bit_identical_to_serial(self, chaos_run):
         *_rest, table = chaos_run
         serial = Sweep(base_cores=2,
-                       axes={"noc_latency": list(HEALTHY)}).run(
+                       axes={"noc.latency": list(HEALTHY)}).run(
             chaos_factory, workers=1)
-        serial_points = {point["settings"]["noc_latency"]: point
+        serial_points = {point["settings"]["noc.latency"]: point
                          for point in
                          serial.to_dict(DIFFERENTIAL_METRICS)["points"]}
-        supervised_points = {point["settings"]["noc_latency"]: point
+        supervised_points = {point["settings"]["noc.latency"]: point
                              for point in
                              table.to_dict(DIFFERENTIAL_METRICS)["points"]}
         for mode in HEALTHY:
@@ -206,7 +206,7 @@ class TestRetryDeterminism:
     def test_transient_crash_is_retried_to_success(self, tmp_path,
                                                    monkeypatch):
         monkeypatch.setenv("COYOTE_FLAKY_FLAG", str(tmp_path / "flag"))
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [13, 2]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [13, 2]})
         table = sweep.run(_flaky_factory, workers=2, on_error="skip",
                           policy=chaos_policy())
         assert not any(point.failed for point in table.points)
@@ -218,7 +218,7 @@ class TestRetryDeterminism:
 
 def _flaky_factory(settings):
     """Crashes the first time the poisoned point runs, then recovers."""
-    if settings.get("noc_latency") == 13:
+    if settings.get("noc.latency") == 13:
         flag = os.environ["COYOTE_FLAKY_FLAG"]
         if not os.path.exists(flag):
             open(flag, "w").close()
@@ -227,7 +227,7 @@ def _flaky_factory(settings):
 
 
 def _stderr_crasher(settings):
-    if settings.get("noc_latency") == 7:
+    if settings.get("noc.latency") == 7:
         print("boom: allocator exploded at bank 3", file=sys.stderr,
               flush=True)
         os._exit(9)
@@ -236,7 +236,7 @@ def _stderr_crasher(settings):
 
 class TestStderrTail:
     def test_worker_crash_attaches_stderr_tail(self):
-        table = Sweep(base_cores=2, axes={"noc_latency": [2, 7]}).run(
+        table = Sweep(base_cores=2, axes={"noc.latency": [2, 7]}).run(
             _stderr_crasher, workers=2, on_error="skip")
         crashed = table.points[1]
         assert crashed.error_kind == "WorkerCrash"
@@ -246,7 +246,7 @@ class TestStderrTail:
         assert "allocator exploded" in clone.stderr_tail
 
     def test_quarantine_reuses_the_stderr_plumbing(self):
-        table = Sweep(base_cores=2, axes={"noc_latency": [7]}).run(
+        table = Sweep(base_cores=2, axes={"noc.latency": [7]}).run(
             _stderr_crasher, workers=2, on_error="skip",
             policy=chaos_policy())
         attempts = table.points[0].error.attempts
@@ -256,7 +256,7 @@ class TestStderrTail:
 
 class TestDegradation:
     def test_spawn_failures_step_the_pool_down(self, monkeypatch):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 4, 6, 8]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 4, 6, 8]})
         engine = ParallelSweep(sweep, workers=4, on_error="skip",
                                policy=SupervisorPolicy(degrade_after=1))
         real_spawn = ParallelSweep._spawn
@@ -275,7 +275,7 @@ class TestDegradation:
         assert not any(point.failed for point in table.points)
 
     def test_degrades_all_the_way_to_serial(self, monkeypatch):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 6]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 6]})
         engine = ParallelSweep(sweep, workers=2, on_error="skip",
                                policy=SupervisorPolicy(degrade_after=1))
 
@@ -286,14 +286,14 @@ class TestDegradation:
         table = engine.run(_healthy_factory)
         assert [event.to_workers for event in table.degradations][-1] == 0
         assert not any(point.failed for point in table.points)
-        serial = Sweep(base_cores=2, axes={"noc_latency": [2, 6]}).run(
+        serial = Sweep(base_cores=2, axes={"noc.latency": [2, 6]}).run(
             _healthy_factory, workers=1)
         assert table.to_dict(DIFFERENTIAL_METRICS) \
             == serial.to_dict(DIFFERENTIAL_METRICS)
 
     def test_degrade_after_zero_propagates_spawn_failures(
             self, monkeypatch):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2]})
         engine = ParallelSweep(
             sweep, workers=2, on_error="skip",
             policy=SupervisorPolicy(degrade_after=0,
@@ -313,7 +313,7 @@ def _healthy_factory(settings):
 
 class TestObservability:
     def test_heartbeat_gauges_and_attempt_spans(self):
-        sweep = Sweep(base_cores=2, axes={"noc_latency": [2, 6]})
+        sweep = Sweep(base_cores=2, axes={"noc.latency": [2, 6]})
         engine = ParallelSweep(
             sweep, workers=2, on_error="skip",
             policy=chaos_policy(heartbeat_interval_seconds=0.02))
@@ -345,7 +345,7 @@ class TestObservability:
         # Without supervision knobs a dead worker stays a WorkerCrash
         # (the pre-supervisor contract), never a quarantine record.
         assert not SupervisorPolicy().supervised
-        table = Sweep(base_cores=2, axes={"noc_latency": [7]}).run(
+        table = Sweep(base_cores=2, axes={"noc.latency": [7]}).run(
             _stderr_crasher, workers=2, on_error="skip")
         assert isinstance(table.points[0].error, WorkerCrash)
 
@@ -357,7 +357,7 @@ class TestSigintDrain:
         command = [
             sys.executable, "-m", "repro.coyote.cli", "sweep",
             "--kernel", "scalar-matmul", "--cores", "2", "--size", "10",
-            "--axes", "noc_latency=2,3,4,5,6,7,8,9",
+            "--axes", "noc.latency=2,3,4,5,6,7,8,9",
             "--workers", "2", "--on-error", "skip",
             "--campaign", str(campaign)]
         env = dict(os.environ,
@@ -382,7 +382,7 @@ class TestSigintDrain:
         assert process.returncode == cli.EXIT_INTERRUPT, stderr
         assert "interrupted" in stderr
         # The partial campaign survived the interrupt and warm-starts.
-        axes = {"noc_latency": [2, 3, 4, 5, 6, 7, 8, 9]}
+        axes = {"noc.latency": [2, 3, 4, 5, 6, 7, 8, 9]}
         completed = load_campaign(campaign, axes_key(axes))
         assert completed  # at least the first finished point
         assert len(completed) < 8  # ... but the sweep was cut short

@@ -28,19 +28,19 @@ def cache(tmp_path):
 
 
 def make_point(latency=2):
-    return SweepPoint(settings={"noc_latency": latency}, results=None,
+    return SweepPoint(settings={"noc.latency": latency}, results=None,
                       verified=True)
 
 
 class TestKeys:
     def test_config_digest_is_canonical(self):
-        first = SimulationConfig.for_cores(2, noc_latency=4)
-        second = SimulationConfig.for_cores(2, noc_latency=4)
+        first = SimulationConfig.for_cores(2, **{"noc.latency": 4})
+        second = SimulationConfig.for_cores(2, **{"noc.latency": 4})
         assert config_digest(first) == config_digest(second)
 
     def test_any_config_knob_changes_the_key(self):
         base = SimulationConfig.for_cores(2)
-        for override in ({"noc_latency": 9}, {"l2_mode": "private"},
+        for override in ({"noc.latency": 9}, {"l2_mode": "private"},
                          {"mem_latency": 55}, {"vlen_bits": 256}):
             changed = SimulationConfig.for_cores(2, **override)
             assert config_digest(changed) != config_digest(base), override
@@ -58,8 +58,8 @@ class TestKeys:
 
     def test_point_key_matches_run_point_recipe(self):
         workload = vector_axpy(length=32, num_cores=2)
-        key = point_key({"noc_latency": 4}, 2, {}, workload)
-        config = SimulationConfig.for_cores(2, noc_latency=4)
+        key = point_key({"noc.latency": 4}, 2, {}, workload)
+        config = SimulationConfig.for_cores(2, **{"noc.latency": 4})
         assert key == result_key(config_digest(config),
                                  kernel_digest(workload),
                                  config.resilience.fault_seed)
@@ -71,7 +71,7 @@ class TestRoundtrip:
         assert cache.get(key) is None
         assert cache.put(key, make_point())
         fetched = cache.get(key)
-        assert fetched.settings == {"noc_latency": 2}
+        assert fetched.settings == {"noc.latency": 2}
         assert fetched.verified
         assert cache.stats() == {"hits": 1, "misses": 1, "corrupt": 0,
                                  "writes": 1}
@@ -80,7 +80,7 @@ class TestRoundtrip:
         key = "ab" + "0" * 62
         cache.put(key, make_point())
         cache.put(key, make_point())  # at-least-once: same key, same bytes
-        assert cache.get(key).settings == {"noc_latency": 2}
+        assert cache.get(key).settings == {"noc.latency": 2}
 
     def test_unpicklable_point_is_refused(self, cache):
         point = SweepPoint(settings={"x": lambda: 1}, results=None,

@@ -23,7 +23,7 @@ from repro.service.store import QueueFullError, ServiceError
 KERNEL = "vector-axpy"
 CORES = 2
 SIZE = 64
-AXES = {"noc_latency": [2, 6]}
+AXES = {"noc.latency": [2, 6]}
 METRICS = ("cycles", "instructions", "l1d_miss_rate")
 
 
@@ -63,7 +63,7 @@ class TestEndToEnd:
             simulated = service.cache.writes
         with make_service(root) as service:
             wider = service.submit(
-                KERNEL, {"noc_latency": [2, 6]}, cores=CORES, size=SIZE)
+                KERNEL, {"noc.latency": [2, 6]}, cores=CORES, size=SIZE)
             service.run()
             status = service.status(wider)
             assert status.cache_hits == 2  # nothing re-simulated
@@ -104,7 +104,7 @@ class TestBackpressure:
         with make_service(root, max_queue=3) as service:
             service.submit(KERNEL, AXES, cores=CORES, size=SIZE)
             with pytest.raises(QueueFullError, match="rejected"):
-                service.submit(KERNEL, {"noc_latency": [2, 4]},
+                service.submit(KERNEL, {"noc.latency": [2, 4]},
                                cores=CORES, size=SIZE)
             assert service.monitor.counters["rejected"] == 1
 
@@ -116,7 +116,7 @@ class TestBackpressure:
     def test_unserialisable_submission_rejected(self, root):
         with make_service(root) as service:
             with pytest.raises(ServiceError, match="JSON"):
-                service.submit(KERNEL, {"noc_latency": [object()]})
+                service.submit(KERNEL, {"noc.latency": [object()]})
 
 
 class TestLocking:
@@ -167,7 +167,7 @@ class TestLocking:
 
     def test_spooled_submission_rejected_by_bound_is_visible(self, root):
         spec = {"kernel": KERNEL, "cores": CORES, "size": SIZE,
-                "axes": {"noc_latency": [2, 4, 6, 8]}, "overrides": {},
+                "axes": {"noc.latency": [2, 4, 6, 8]}, "overrides": {},
                 "require_verified": True}
         spool_submission(root, spec, "job-too-big")
         with make_service(root, max_queue=3) as service:
@@ -203,7 +203,7 @@ class TestFailureHandling:
                 retry=RetryPolicy(max_attempts=2, base_delay=0.01,
                                   max_delay=0.05)) as service:
             def chaos(running):
-                if running.settings["noc_latency"] == 6:
+                if running.settings["noc.latency"] == 6:
                     os.kill(running.process.pid, signal.SIGKILL)
             service._chaos_on_spawn = chaos
             job = service.submit(KERNEL, AXES, cores=CORES, size=SIZE)
@@ -215,7 +215,7 @@ class TestFailureHandling:
         poisoned = [point for point in table.points
                     if point.error_kind == "QuarantinedPoint"]
         assert len(poisoned) == 1
-        assert poisoned[0].settings == {"noc_latency": 6}
+        assert poisoned[0].settings == {"noc.latency": 6}
         assert len(poisoned[0].error.attempts) == 2
         assert poisoned[0].error.attempts[0].signal == signal.SIGKILL
 

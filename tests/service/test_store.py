@@ -14,9 +14,9 @@ from repro.service.store import (
     QueueFullError,
 )
 
-POINTS = [{"noc_latency": 2}, {"noc_latency": 4}, {"noc_latency": 6}]
+POINTS = [{"noc.latency": 2}, {"noc.latency": 4}, {"noc.latency": 6}]
 SPEC = {"kernel": "vector-axpy", "cores": 2, "size": 64,
-        "axes": {"noc_latency": [2, 4, 6]}, "overrides": {},
+        "axes": {"noc.latency": [2, 4, 6]}, "overrides": {},
         "require_verified": True}
 
 

@@ -30,7 +30,7 @@ from repro.service.store import JobStore
 KERNEL = "vector-axpy"
 CORES = 2
 SIZE = 64
-AXES = {"noc_latency": [2, 6]}
+AXES = {"noc.latency": [2, 6]}
 JOB = "job-torture"
 METRICS = ("cycles", "instructions", "l1d_miss_rate")
 
@@ -184,7 +184,7 @@ class TestCompactionTorture:
 class TestServiceKill:
     """SIGKILL a live serving process; restart; nothing is lost."""
 
-    AXES_WIDE = {"noc_latency": [2, 4, 6, 8]}
+    AXES_WIDE = {"noc.latency": [2, 4, 6, 8]}
     # ~1s of simulation per point: a wide window to kill into, so the
     # campaign is provably mid-flight when SIGKILL lands.
     SIZE_SLOW = 16384

@@ -24,7 +24,7 @@ class TestCampaignProgress:
     def test_progress_line_shape(self):
         progress, clock, lines = make_progress(total=4)
         clock.now += 2.0
-        line = progress.point_completed({"noc_latency": 2})
+        line = progress.point_completed({"noc.latency": 2})
         assert line.startswith("sweep: 1/4 points (25%)")
         assert "elapsed 2.0s" in line
         assert "eta 6.0s" in line  # 2s/point * 3 remaining
@@ -46,11 +46,11 @@ class TestCampaignProgress:
     def test_failures_are_counted_and_named(self):
         progress, clock, _lines = make_progress(total=3)
         clock.now += 1.0
-        progress.point_completed({"noc_latency": 2})
+        progress.point_completed({"noc.latency": 2})
         clock.now += 1.0
-        line = progress.point_completed({"noc_latency": 7}, failed=True)
+        line = progress.point_completed({"noc.latency": 7}, failed=True)
         assert "1 failed" in line
-        assert "last failure {'noc_latency': 7}" in line
+        assert "last failure {'noc.latency': 7}" in line
 
     def test_negative_total_rejected(self):
         with pytest.raises(ValueError, match="total"):
