@@ -29,6 +29,13 @@ simulated, hit rate 0) and warm (an identical resubmission served from
 the content-addressed result cache, hit rate 1), recording the
 wall-clock payoff of cross-campaign caching.
 
+A ``service_cluster`` series drains the campaign through the
+multi-node cluster tier (`coyote-sim cluster`): an in-process
+dispatcher granting fenced leases to real node-executor subprocesses
+over the shared-filesystem transport, recording wall clock and the
+grant/rebalance counters.  Like the worker series it is skipped (with
+a recorded reason) on a single-CPU host.
+
 The harness also times the largest worker count once more under a
 :class:`~repro.api.SupervisorPolicy` (0.2 s heartbeats, generous
 timeouts, no retries needed) and records the supervisor's wall-clock
@@ -117,6 +124,72 @@ def time_service_cache(cores: int, size: int, workers: int) -> dict:
     return {"workers": workers, "cold": cold, "warm": warm}
 
 
+def time_service_cluster(cores: int, size: int, nodes: int,
+                         workers: int) -> dict:
+    """Time the same campaign drained by the multi-node cluster tier.
+
+    The dispatcher runs in-process; ``nodes`` node executors run as
+    real CLI subprocesses over the shared-filesystem transport, each
+    with ``workers`` forked workers.  Records wall seconds, the grant
+    and rebalance counters, and whether the drained table matched the
+    serial reference shape (the cluster's own differential).
+    """
+    import subprocess
+
+    from repro.service.cluster import ClusterDispatcher
+
+    if host_cpus() == 1:
+        # A cluster on one CPU measures scheduler contention, not the
+        # tier's scaling; mirror the worker-series convention.
+        return {"skipped_reason": "single-cpu host"}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep \
+        + env.get("PYTHONPATH", "")
+    with tempfile.TemporaryDirectory(prefix="sweep-scaling-") as scratch:
+        root = Path(scratch) / "cluster"
+        children = []
+        started = time.perf_counter()
+        try:
+            with ClusterDispatcher(root, grace_seconds=600.0) \
+                    as dispatcher:
+                job = dispatcher.submit("scalar-matmul", AXES,
+                                        cores=cores, size=size)
+                for rank in range(nodes):
+                    children.append(subprocess.Popen(
+                        [sys.executable, "-m", "repro.coyote.cli",
+                         "cluster", "--node", "--root", str(root),
+                         "--node-id", f"bench-{rank}",
+                         "--workers", str(workers),
+                         "--heartbeat-seconds", "0.2",
+                         "--log-level", "warning"], env=env))
+                code = dispatcher.serve(poll_seconds=0.02, drain=True)
+                elapsed = time.perf_counter() - started
+                status = dispatcher.status(job)
+                counters = dict(dispatcher.monitor.counters)
+        finally:
+            for child in children:
+                if child.poll() is None:
+                    child.terminate()
+            for child in children:
+                try:
+                    child.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    child.kill()
+                    child.wait()
+    return {
+        "nodes": nodes,
+        "workers_per_node": workers,
+        "wall_seconds": round(elapsed, 6),
+        "exit_code": code,
+        "done": status.done,
+        "complete": status.complete,
+        "grants": counters.get("grants", 0),
+        "rebalanced": counters.get("rebalanced", 0),
+        "stale_writes": counters.get("stale_writes", 0),
+        "degradations": counters.get("degradations", 0),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark parallel-sweep scaling vs worker count.")
@@ -199,6 +272,23 @@ def main(argv: list[str] | None = None) -> int:
         print(f"  service {phase:<5s} {stats['wall_seconds']:8.2f}s  "
               f"cache hit rate {stats['cache_hit_rate']:5.1%}")
 
+    cluster_nodes = max(2, min(widest, host_cpus() - 1))
+    service_cluster = time_service_cluster(cores, size, cluster_nodes, 1)
+    if "skipped_reason" in service_cluster:
+        print(f"  service cluster skipped: "
+              f"{service_cluster['skipped_reason']}")
+    else:
+        print(f"  service cluster ({service_cluster['nodes']} nodes x "
+              f"{service_cluster['workers_per_node']} worker) "
+              f"{service_cluster['wall_seconds']:8.2f}s  "
+              f"{service_cluster['grants']} grants, "
+              f"{service_cluster['rebalanced']} rebalanced")
+        if not service_cluster["complete"] \
+                or service_cluster["exit_code"] != 0:
+            print("FAIL: cluster drain did not complete",
+                  file=sys.stderr)
+            return 1
+
     entry = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "points": points,
@@ -214,6 +304,7 @@ def main(argv: list[str] | None = None) -> int:
             "overhead_vs_unsupervised": round(overhead, 4),
         },
         "service_cache": service_cache,
+        "service_cluster": service_cluster,
         "differential_identical": True,
     }
     if not args.no_trajectory:

@@ -61,6 +61,7 @@ from repro.resilience.supervisor import (
 from repro.resilience.locking import CampaignLockError
 from repro.resilience.watchdog import DeadlockError
 from repro.service.cache import ResultCache
+from repro.service.cluster import ClusterDispatcher, ClusterNode
 from repro.service.service import (
     CampaignService,
     assemble_result,
@@ -75,7 +76,9 @@ from repro.service.store import (
     JobStatus,
     QueueFullError,
     ServiceError,
+    StaleWriteError,
 )
+from repro.service.transport import ServiceFaultPlan, ServiceFaultSpec
 from repro.telemetry.config import TelemetryConfig
 from repro.telemetry.guestprof import CpiStack, GuestProfile, HotBlock
 
@@ -96,6 +99,12 @@ __all__ = [
     "JobNotFoundError",
     "CampaignCorruptError",
     "CampaignLockError",
+    # the multi-node cluster tier
+    "ClusterDispatcher",
+    "ClusterNode",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
+    "StaleWriteError",
     # simulation
     "Simulation",
     "SimulationConfig",

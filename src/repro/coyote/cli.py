@@ -25,6 +25,7 @@ import argparse
 import json
 import logging
 import os
+import subprocess
 import sys
 
 from repro.coyote.config import SimulationConfig
@@ -417,6 +418,177 @@ def serve_main(argv: list[str]) -> int:
         return EXIT_FAILURE
 
 
+# -- the cluster subcommand (multi-node campaign tier) -----------------------
+
+
+def build_cluster_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="coyote-sim cluster",
+        description="Run the multi-node campaign tier: a dispatcher "
+                    "granting fenced leases to node executors over the "
+                    "shared-filesystem transport, with dead-node "
+                    "rebalancing and graceful cluster-to-local "
+                    "degradation (docs/RESILIENCE.md).")
+    parser.add_argument("--root", metavar="DIR", required=True,
+                        help="cluster root directory (journal, inbox, "
+                             "result cache, transport mailboxes)")
+    role = parser.add_argument_group(
+        "role", "default: dispatcher (owns the journal and grants "
+                "leases); --node joins an existing cluster root as an "
+                "executor")
+    role.add_argument("--node", action="store_true",
+                      help="run a node executor instead of the "
+                           "dispatcher")
+    role.add_argument("--node-id", default=None, metavar="ID",
+                      help="node identity (default: host- and "
+                           "pid-qualified, collision-resistant)")
+    parser.add_argument("--nodes", type=int, default=2, metavar="N",
+                        help="node executor subprocesses the dispatcher "
+                             "launches itself (0 = rely on externally "
+                             "joined --node processes)")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes per node (and the "
+                             "dispatcher's own pool if it degrades to "
+                             "local execution)")
+    parser.add_argument("--fence", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="enforce fencing tokens on every node "
+                             "write; --no-fence demonstrates the "
+                             "unsafe at-least-once legacy behaviour")
+    parser.add_argument("--fault-plan", metavar="PLAN.json", default=None,
+                        help="seeded service-fault plan injected into "
+                             "the transport (drop/delay/duplicate/"
+                             "partition; see "
+                             "examples/service_fault_plan.json)")
+    parser.add_argument("--lease-seconds", type=float, default=30.0,
+                        metavar="S",
+                        help="wall-clock lease per granted point")
+    parser.add_argument("--node-deadline-seconds", type=float,
+                        default=None, metavar="S",
+                        help="declare a node dead after this heartbeat "
+                             "silence and rebalance its leases "
+                             "(default: --lease-seconds)")
+    parser.add_argument("--heartbeat-seconds", type=float, default=0.5,
+                        metavar="S",
+                        help="node heartbeat / work-request cadence")
+    parser.add_argument("--grace-seconds", type=float, default=5.0,
+                        metavar="S",
+                        help="how long the dispatcher waits for a "
+                             "first node before degrading to local "
+                             "execution")
+    parser.add_argument("--max-queue", type=int, default=4096,
+                        metavar="N",
+                        help="bound on outstanding points; beyond it "
+                             "submissions are rejected, not queued")
+    parser.add_argument("--max-retries", type=int, default=2,
+                        metavar="N",
+                        help="re-run a crashed/lost point up to N "
+                             "times before quarantining it")
+    parser.add_argument("--seed", type=int, default=0, metavar="N",
+                        help="retry-backoff jitter seed")
+    parser.add_argument("--drain", action="store_true",
+                        help="exit once the queue and inbox are empty "
+                             "instead of serving forever")
+    parser.add_argument("--poll-seconds", type=float, default=0.2,
+                        metavar="S",
+                        help="idle poll interval")
+    parser.add_argument("--max-seconds", type=float, default=None,
+                        metavar="S",
+                        help="stop after this long (testing)")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync every journal append")
+    parser.add_argument("--log-level", default="info",
+                        choices=("debug", "info", "warning", "error"),
+                        help="logging verbosity")
+    return parser
+
+
+def _node_argv(args, rank: int) -> list[str]:
+    return [sys.executable, "-m", "repro.coyote.cli", "cluster",
+            "--node", "--root", str(args.root),
+            "--node-id", f"node-{rank}",
+            "--workers", str(args.workers),
+            "--heartbeat-seconds", str(args.heartbeat_seconds),
+            "--log-level", args.log_level]
+
+
+def _reap_children(children: list) -> None:
+    """Collect launched node processes; escalate politely on stragglers."""
+    for child in children:
+        try:
+            child.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            child.terminate()
+            try:
+                child.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                child.kill()
+                child.wait()
+
+
+def cluster_main(argv: list[str]) -> int:
+    from repro.resilience.locking import CampaignLockError
+    from repro.resilience.supervisor import RetryPolicy
+    from repro.service.cluster import ClusterDispatcher, ClusterNode
+    from repro.service.transport import ServiceFaultPlan
+    parser = build_cluster_parser()
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    if args.node:
+        try:
+            node = ClusterNode(args.root, args.node_id,
+                               workers=args.workers,
+                               heartbeat_seconds=args.heartbeat_seconds)
+        except ValueError as exc:
+            print(f"configuration error: {exc}", file=sys.stderr)
+            return EXIT_CONFIG
+        try:
+            node.run(max_seconds=args.max_seconds)
+        except KeyboardInterrupt:
+            return EXIT_INTERRUPT
+        return EXIT_OK
+    plan = None
+    if args.fault_plan is not None:
+        try:
+            plan = ServiceFaultPlan.load(args.fault_plan)
+        except (OSError, ValueError) as exc:
+            print(f"configuration error: {exc}", file=sys.stderr)
+            return EXIT_CONFIG
+    try:
+        dispatcher = ClusterDispatcher(
+            args.root, fault_plan=plan, fence=args.fence,
+            node_deadline_seconds=args.node_deadline_seconds,
+            grace_seconds=args.grace_seconds,
+            local_workers=args.workers,
+            lease_seconds=args.lease_seconds,
+            max_queue=args.max_queue,
+            retry=RetryPolicy(max_attempts=args.max_retries + 1),
+            seed=args.seed, fsync=args.fsync)
+    except ValueError as exc:
+        print(f"configuration error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    children: list = []
+    try:
+        with dispatcher:
+            for rank in range(args.nodes):
+                children.append(subprocess.Popen(_node_argv(args, rank)))
+            return dispatcher.serve(poll_seconds=args.poll_seconds,
+                                    drain=args.drain,
+                                    max_seconds=args.max_seconds)
+    except CampaignLockError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return EXIT_CONFIG
+    except SimulationError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
+    finally:
+        # The dispatcher's close() already told every node to shut
+        # down; collect the subprocesses it launched.
+        _reap_children(children)
+
+
 def build_jobs_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="coyote-sim jobs",
@@ -465,7 +637,21 @@ def build_jobs_parser() -> argparse.ArgumentParser:
     listing = commands.add_parser(
         "list", help="list every job the service knows, oldest first")
     listing.add_argument("--root", metavar="DIR", required=True)
+    listing.add_argument("--status", default=None,
+                         choices=("active", "complete", "cancelled"),
+                         help="only jobs in this phase (active = "
+                              "execution still outstanding)")
+    listing.add_argument("--json", action="store_true",
+                         help="print a JSON array of job-status "
+                              "objects instead of the text table")
     return parser
+
+
+def _job_phase(summary) -> str:
+    """Collapse a JobStatus into the list-filter phases."""
+    if summary.state == "cancelled":
+        return "cancelled"
+    return "complete" if summary.complete else "active"
 
 
 def jobs_main(argv: list[str]) -> int:
@@ -509,9 +695,17 @@ def jobs_main(argv: list[str]) -> int:
             return EXIT_OK
         if args.command == "list":
             store = readonly_store(args.root)
-            for job_id in store.jobs_in_order():
-                summary = store.status(job_id)
-                print(f"{job_id}  {summary.state:<9} "
+            summaries = [store.status(job_id)
+                         for job_id in store.jobs_in_order()]
+            if args.status is not None:
+                summaries = [summary for summary in summaries
+                             if _job_phase(summary) == args.status]
+            if args.json:
+                print(json.dumps([summary.to_dict()
+                                  for summary in summaries], indent=1))
+                return EXIT_OK
+            for summary in summaries:
+                print(f"{summary.job_id}  {summary.state:<9} "
                       f"{summary.done}/{summary.total} done, "
                       f"{summary.pending} pending, "
                       f"{summary.leased} leased, "
@@ -760,6 +954,8 @@ def main(argv: list[str] | None = None) -> int:
         return profile_main(argv[1:])
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        return cluster_main(argv[1:])
     if argv and argv[0] == "jobs":
         return jobs_main(argv[1:])
     parser = build_parser()
@@ -928,6 +1124,17 @@ def _report_deadlock(error: DeadlockError) -> None:
         print(f"  orphaned: miss {miss['miss_id']} of core "
               f"{miss['core_id']} (registers {miss['registers']})",
               file=sys.stderr)
+    noc = snapshot.get("noc", {})
+    for link, depth in sorted(noc.get("busy_links", {}).items(),
+                              key=lambda item: -item[1]["backlog_cycles"]):
+        print(f"  congested link {link}: "
+              f"{depth['backlog_cycles']} cycles of granted backlog "
+              f"({depth['slots_used']} slot(s) in the last cycle)",
+              file=sys.stderr)
+    if noc.get("in_network"):
+        print(f"  noc: {noc['in_network']} message(s) still in the "
+              f"network after {noc.get('queue_cycles', 0)} total "
+              f"queued cycles", file=sys.stderr)
 
 
 def _report_failure(workload, results) -> None:

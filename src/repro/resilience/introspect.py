@@ -162,6 +162,44 @@ def bank_states(orchestrator) -> list[dict]:
     return result
 
 
+def noc_state(orchestrator) -> dict:
+    """Interconnect congestion at the current cycle.
+
+    Under the contention-modelled mesh/torus this is the structured
+    ``congestion_report`` (per-link/per-router traversal counts and
+    queueing totals) plus the *live* arbitration frontier: for each
+    directed link whose next free slot lies in the future, how many
+    cycles of backlog have already been granted — the queue depth a
+    message arriving now would sit behind.  A deadlock snapshot showing
+    a deep ``busy_links`` entry names the wire the wedge is parked on.
+
+    The latency-only crossbar has no queues; its state is the
+    per-endpoint port-wire counts.
+    """
+    noc = orchestrator.hierarchy.noc
+    now = orchestrator.scheduler.current_cycle
+    if hasattr(noc, "congestion_report"):
+        state = noc.congestion_report()
+        state["topology"] = noc.noc_config.kind
+        busy = {}
+        for ((fx, fy), (tx, ty)), (depart, used) \
+                in sorted(noc._link_next.items()):
+            backlog = depart - now
+            if backlog > 0:
+                busy[f"({fx},{fy})->({tx},{ty})"] = {
+                    "backlog_cycles": backlog,
+                    "slots_used": used,
+                }
+        state["busy_links"] = busy
+        return state
+    return {
+        "topology": "crossbar",
+        "ports": {f"{endpoint}.{direction}": count
+                  for (endpoint, direction), count
+                  in sorted(noc.link_utilisation().items())},
+    }
+
+
 def memctrl_states(orchestrator) -> list[dict]:
     """Channel backlog of every memory controller."""
     now = orchestrator.scheduler.current_cycle

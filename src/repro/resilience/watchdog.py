@@ -5,8 +5,10 @@ millions of wasted cycles.  The watchdog detects the wedge as it
 happens and raises :class:`DeadlockError` carrying a full diagnostic
 snapshot: per-core PC and stall state, scheduler queue depth and next
 event, every bank's MSHRs and pending queues, the ages of every
-in-flight request, and — the usual smoking gun — the scoreboard entries
-whose request has physically vanished.
+in-flight request, the interconnect's congestion state (per-link
+traversal counts plus live queue backlogs under the mesh/torus
+contention model), and — the usual smoking gun — the scoreboard
+entries whose request has physically vanished.
 
 Two trigger conditions:
 
@@ -63,6 +65,7 @@ def build_snapshot(orchestrator, reason: str = "") -> dict:
         "orphaned_misses": introspect.orphaned_misses(orchestrator,
                                                       in_flight),
         "banks": introspect.bank_states(orchestrator),
+        "noc": introspect.noc_state(orchestrator),
         "memory_controllers": introspect.memctrl_states(orchestrator),
         "hierarchy_outstanding": orchestrator.hierarchy.outstanding(),
     }

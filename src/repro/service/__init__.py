@@ -19,6 +19,14 @@ any instant (docs/RESILIENCE.md, "Campaign service"):
   lease-based executor (heartbeat renewal, seeded retries, poison-point
   quarantine), the bounded submission queue, the spool inbox, and the
   SIGTERM/SIGINT drain behind ``coyote-sim serve``.
+* :mod:`repro.service.transport` — pluggable cluster messaging
+  (in-process deques, atomic filesystem spools) plus the seeded
+  :class:`ServiceFaultPlan` layer that injects drop/delay/duplicate/
+  partition faults deterministically.
+* :mod:`repro.service.cluster` — the multi-node tier behind
+  ``coyote-sim cluster``: :class:`ClusterDispatcher` (fenced lease
+  grants, node health registry, rebalancing, graceful cluster→local
+  degradation) coordinating :class:`ClusterNode` executors.
 
 The canonical import surface is :mod:`repro.api`
 (``submit/status/result/cancel``); the blessed names below are
@@ -30,17 +38,27 @@ import importlib
 # Names served from the repro.api facade (the canonical path).
 _API_NAMES = frozenset({
     "CampaignService",
+    "ClusterDispatcher",
+    "ClusterNode",
     "JobNotFoundError",
     "JobStatus",
     "QueueFullError",
     "ServiceError",
+    "ServiceFaultPlan",
+    "ServiceFaultSpec",
+    "StaleWriteError",
 })
 
 # Internal-but-stable names that stay below the facade.
 _LOCAL_NAMES = {
+    "FaultyTransport": "repro.service.transport",
+    "FilesystemTransport": "repro.service.transport",
+    "InProcessTransport": "repro.service.transport",
     "Journal": "repro.service.journal",
     "JobStore": "repro.service.store",
+    "NodeRegistry": "repro.service.cluster",
     "ResultCache": "repro.service.cache",
+    "Transport": "repro.service.transport",
     "config_digest": "repro.service.cache",
     "kernel_digest": "repro.service.cache",
     "new_job_id": "repro.service.service",

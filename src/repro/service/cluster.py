@@ -1,0 +1,776 @@
+"""The multi-node cluster tier: one dispatcher, N node executors.
+
+:class:`ClusterDispatcher` scales the durable campaign service past
+one host.  It owns the authoritative journal/store/cache at the
+cluster root (exactly the single-node layout, so every existing tool —
+``coyote-sim jobs``, ``repro.api.status/result`` — reads a cluster
+root unchanged) and coordinates :class:`ClusterNode` executors over a
+pluggable :class:`~repro.service.transport.Transport`: shared
+filesystem between processes/hosts, in-process deques for
+deterministic tests.
+
+Robust by construction:
+
+* **Grants are fenced leases.**  The dispatcher claims each point on a
+  node's behalf; the claim mints a monotonic fencing token which rides
+  the grant and must be echoed on every ``complete``/``failure``.  A
+  SIGSTOP'd zombie node that wakes after its lease was reaped and
+  re-granted sends a stale token; the store rejects the write *before*
+  journaling (:class:`~repro.service.store.StaleWriteError`), records
+  a durable ``stale_write`` event, and the journal keeps exactly one
+  ``complete`` per point.
+* **Nodes are leased too.**  A node registry tracks per-node
+  heartbeats against a wall-clock deadline; a silent node is declared
+  dead, its leases reaped, and its points rebalanced to live nodes
+  under the existing seeded
+  :class:`~repro.resilience.supervisor.RetryPolicy` backoff.
+* **The transport is allowed to misbehave.**  Every message may be
+  dropped, delayed, duplicated, or partitioned away (see
+  :class:`~repro.service.transport.FaultyTransport`); lost grants
+  expire, duplicate completes are rejected by the fence, and the
+  campaign still drains to a :class:`~repro.coyote.sweep.SweepTable`
+  bit-identical to a serial sweep.
+* **Degradation is graceful, not silent.**  A cluster whose nodes all
+  die (or never arrive) steps down cluster → single-node — the
+  dispatcher runs the remaining points itself through the inherited
+  PR-5/PR-8 forked-worker machinery — and, if it cannot even fork,
+  single-node → serial in-process execution.  Each step logs a
+  :class:`~repro.resilience.supervisor.DegradationEvent`, surfaced on
+  the final table's host-side ``degradations`` field.
+
+The node tier deliberately owns nothing durable: a node never touches
+the journal and writes only content-addressed cache entries (same key
+=> same bytes, atomic replace), so a zombie's cache write is harmless
+and all authority stays with the dispatcher's fenced journal.
+"""
+
+from __future__ import annotations
+
+import os
+import secrets
+import socket
+import tempfile
+import time
+from multiprocessing import connection
+from pathlib import Path
+from typing import Any, Callable
+
+import multiprocessing
+
+from repro.coyote.parallel import _worker_main
+from repro.coyote.sweep import SweepPoint, SweepTable, run_point
+from repro.kernels import instantiate
+from repro.resilience import supervisor as supervision
+from repro.resilience.supervisor import DegradationEvent
+from repro.service.cache import ResultCache
+from repro.service.service import CampaignService
+from repro.service.store import (
+    DONE_STATES,
+    ServiceError,
+    StaleWriteError,
+)
+from repro.service.transport import (
+    FaultyTransport,
+    FilesystemTransport,
+    ServiceFaultPlan,
+    Transport,
+)
+from repro.telemetry.campaign import ClusterMonitor
+
+__all__ = [
+    "ClusterDispatcher",
+    "ClusterNode",
+    "NodeRegistry",
+    "DISPATCHER_ENDPOINT",
+]
+
+# The dispatcher's transport mailbox name.
+DISPATCHER_ENDPOINT = "dispatcher"
+
+_POLL_SECONDS = 0.05
+
+
+def new_node_id() -> str:
+    """A fresh node id: host-qualified, collision-resistant."""
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{secrets.token_hex(3)}")
+
+
+class NodeRegistry:
+    """Liveness of every node, judged by heartbeat wall-clock age.
+
+    A node is ``alive`` from registration (or its first heartbeat)
+    until it stays silent past ``deadline_seconds``; :meth:`reap`
+    flips such nodes to dead exactly once and returns them, so the
+    dispatcher rebalances each dead node's leases exactly once.  A
+    dead node that speaks again (a woken zombie) is simply
+    re-registered — its *old* leases are gone and its old fencing
+    tokens are dead, so re-admission is safe.
+    """
+
+    def __init__(self, deadline_seconds: float,
+                 clock: Callable[[], float] = time.time):
+        if deadline_seconds <= 0:
+            raise ValueError(f"deadline_seconds must be > 0, "
+                             f"got {deadline_seconds}")
+        self.deadline_seconds = deadline_seconds
+        self._clock = clock
+        self.nodes: dict[str, dict] = {}
+
+    def register(self, node: str, workers: int = 1) -> bool:
+        """Admit (or re-admit) a node; True when it was unknown."""
+        fresh = node not in self.nodes or not self.nodes[node]["alive"]
+        self.nodes[node] = {"workers": workers,
+                            "last_seen": self._clock(),
+                            "alive": True}
+        return fresh
+
+    def heartbeat(self, node: str) -> bool:
+        """Refresh a node's deadline; False when the node is unknown
+        or was already declared dead (the caller should re-register
+        it)."""
+        info = self.nodes.get(node)
+        if info is None or not info["alive"]:
+            return False
+        info["last_seen"] = self._clock()
+        return True
+
+    def alive(self) -> list[str]:
+        return [node for node, info in self.nodes.items()
+                if info["alive"]]
+
+    def age(self, node: str) -> float:
+        info = self.nodes[node]
+        return self._clock() - info["last_seen"]
+
+    def reap(self) -> list[str]:
+        """Declare overdue nodes dead (once each) and return them."""
+        now = self._clock()
+        dead = []
+        for node, info in self.nodes.items():
+            if info["alive"] and \
+                    now - info["last_seen"] > self.deadline_seconds:
+                info["alive"] = False
+                dead.append(node)
+        return dead
+
+
+class _NodeRunning:
+    """Node-side state of one in-flight granted point."""
+
+    def __init__(self, grant: dict, process, conn,
+                 stderr_path: str | None):
+        self.grant = grant
+        self.process = process
+        self.conn = conn
+        self.stderr_path = stderr_path
+
+
+class ClusterNode:
+    """One node-local executor: leases work, runs it, reports fenced.
+
+    The node half of the cluster protocol.  It registers with the
+    dispatcher, heartbeats on a wall-clock cadence (which renews every
+    lease it holds, dispatcher-side), requests work when it has idle
+    worker slots, runs each granted point in a forked child process
+    (the same PR-5 worker as the single-node service), writes results
+    into the shared content-addressed cache, and reports completion
+    with the grant's fencing token echoed back.
+
+    The node holds no durable state and takes no locks: killing it at
+    any instant loses nothing but its in-flight leases, which expire
+    and rebalance.
+    """
+
+    def __init__(self, root: str | Path, node_id: str | None = None,
+                 transport: Transport | None = None, *,
+                 workers: int = 1, heartbeat_seconds: float = 0.5,
+                 clock: Callable[[], float] = time.time,
+                 mp_context: str | None = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.root = Path(root)
+        self.node_id = node_id or new_node_id()
+        self.transport = transport if transport is not None \
+            else FilesystemTransport(self.root, self.node_id)
+        self.workers = workers
+        self.heartbeat_seconds = heartbeat_seconds
+        self.cache = ResultCache(self.root / "cache")
+        self._clock = clock
+        if mp_context is None:
+            methods = multiprocessing.get_all_start_methods()
+            mp_context = "fork" if "fork" in methods else "spawn"
+        self._context = multiprocessing.get_context(mp_context)
+        self._inflight: dict[Any, _NodeRunning] = {}
+        self._queued: list[dict] = []
+        self._registered = False
+        self._shutdown = False
+        self._last_beat = float("-inf")
+        self._last_request = float("-inf")
+
+    # -- outbound ----------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        message.setdefault("node", self.node_id)
+        self.transport.send(DISPATCHER_ENDPOINT, message)
+
+    def _register(self) -> None:
+        self._send({"type": "register", "workers": self.workers})
+        self._registered = True
+
+    def _held_leases(self) -> list[list]:
+        """The (job, index) pairs this node knows it holds — queued or
+        running.  Heartbeats carry this list so the dispatcher renews
+        exactly these leases: a grant the transport dropped is *not*
+        in it, so its lease expires on schedule and rebalances instead
+        of being renewed forever by an oblivious node."""
+        held = [[grant["job"], grant["index"]]
+                for grant in self._queued]
+        held += [[running.grant["job"], running.grant["index"]]
+                 for running in self._inflight.values()]
+        return held
+
+    def _beat(self) -> None:
+        now = self._clock()
+        if now - self._last_beat >= self.heartbeat_seconds:
+            self._last_beat = now
+            self._send({"type": "heartbeat",
+                        "held": self._held_leases()})
+
+    def _request_work(self) -> None:
+        slots = self.workers - len(self._inflight) - len(self._queued)
+        if slots <= 0 or self._shutdown:
+            return
+        now = self._clock()
+        if now - self._last_request >= self.heartbeat_seconds:
+            self._last_request = now
+            self._send({"type": "request", "slots": slots})
+
+    # -- inbound -----------------------------------------------------------
+
+    def _drain_mailbox(self) -> bool:
+        progressed = False
+        for message in self.transport.receive(self.node_id):
+            kind = message.get("type")
+            if kind == "grant":
+                if not self._shutdown:
+                    self._queued.append(message)
+                    progressed = True
+                # A grant after shutdown is ignored; its lease expires
+                # and the point rebalances.
+            elif kind == "shutdown":
+                self._shutdown = True
+                progressed = True
+        return progressed
+
+    # -- execution ---------------------------------------------------------
+
+    def _workload_factory(self, spec: dict) -> Callable:
+        kernel, cores, size = spec["kernel"], spec["cores"], spec["size"]
+
+        def make_workload():
+            return instantiate(kernel, cores, size)
+
+        return make_workload
+
+    def _spawn(self, grant: dict) -> None:
+        spec = grant["spec"]
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        fd, stderr_path = tempfile.mkstemp(prefix="coyote-node-",
+                                           suffix=".stderr")
+        os.close(fd)
+        try:
+            process = self._context.Process(
+                target=_worker_main,
+                args=(child_conn, grant["index"], grant["settings"],
+                      spec["cores"], spec["overrides"],
+                      self._workload_factory(spec),
+                      spec["require_verified"], 0.0, stderr_path),
+                daemon=True)
+            process.start()
+        except BaseException:
+            parent_conn.close()
+            child_conn.close()
+            os.unlink(stderr_path)
+            raise
+        child_conn.close()
+        self._inflight[parent_conn] = _NodeRunning(
+            grant, process, parent_conn, stderr_path)
+
+    def _fill_slots(self) -> bool:
+        progressed = False
+        while self._queued and len(self._inflight) < self.workers:
+            grant = self._queued.pop(0)
+            try:
+                self._spawn(grant)
+            except OSError:
+                # Fork pressure: run the point in-process instead of
+                # silently dropping the grant on the floor.
+                point = run_point(
+                    grant["settings"], grant["spec"]["cores"],
+                    grant["spec"]["overrides"],
+                    self._workload_factory(grant["spec"]),
+                    require_verified=grant["spec"]["require_verified"])
+                self._report(grant, point)
+            progressed = True
+        return progressed
+
+    def _retire(self, running: _NodeRunning) -> str:
+        process = running.process
+        if process.is_alive():
+            process.terminate()
+            process.join(2.0)
+            if process.is_alive():
+                process.kill()
+                process.join()
+        else:
+            process.join()
+        try:
+            running.conn.close()
+        except OSError:
+            pass
+        self._inflight.pop(running.conn, None)
+        tail = supervision.read_stderr_tail(running.stderr_path)
+        if running.stderr_path is not None:
+            try:
+                os.unlink(running.stderr_path)
+            except OSError:
+                pass
+            running.stderr_path = None
+        return tail
+
+    def _report(self, grant: dict, point: SweepPoint) -> None:
+        cache_key = None
+        if point.results is not None and grant.get("cache_key"):
+            if self.cache.put(grant["cache_key"], point):
+                cache_key = grant["cache_key"]
+        self._send({"type": "complete", "job": grant["job"],
+                    "index": grant["index"], "fence": grant.get("fence"),
+                    "cache_key": cache_key, "verified": point.verified,
+                    "failure": point.failure_record()})
+
+    def _pump(self) -> bool:
+        if not self._inflight:
+            return False
+        progressed = False
+        for conn in connection.wait(list(self._inflight),
+                                    _POLL_SECONDS):
+            running = self._inflight.get(conn)
+            if running is None:
+                continue
+            try:
+                message = conn.recv()
+            except EOFError:
+                tail = self._retire(running)
+                grant = running.grant
+                self._send({"type": "failure", "job": grant["job"],
+                            "index": grant["index"],
+                            "fence": grant.get("fence"),
+                            "outcome": "crash",
+                            "exit_code": running.process.exitcode,
+                            "stderr_tail": tail})
+                progressed = True
+                continue
+            if message[0] == "hb":
+                continue  # the node heartbeats for itself
+            _tag, _index, point = message
+            self._retire(running)
+            self._report(running.grant, point)
+            progressed = True
+        return progressed
+
+    # -- the node loop -----------------------------------------------------
+
+    def step(self) -> bool:
+        """One protocol turn; returns True when anything progressed.
+
+        Exposed so deterministic tests can interleave dispatcher and
+        node turns explicitly instead of racing threads.
+        """
+        if not self._registered:
+            self._register()
+        self._beat()
+        progressed = self._drain_mailbox()
+        progressed |= self._fill_slots()
+        progressed |= self._pump()
+        self._request_work()
+        return progressed
+
+    @property
+    def idle(self) -> bool:
+        return not self._inflight and not self._queued
+
+    def run(self, *, max_seconds: float | None = None,
+            stop: Callable[[], bool] | None = None) -> None:
+        """Serve until the dispatcher says shutdown (or ``stop``)."""
+        deadline = (time.monotonic() + max_seconds
+                    if max_seconds is not None else None)
+        try:
+            while True:
+                if stop is not None and stop():
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    break
+                progressed = self.step()
+                if self._shutdown and self.idle:
+                    break
+                if not progressed and not self._inflight:
+                    time.sleep(_POLL_SECONDS)
+        finally:
+            for running in list(self._inflight.values()):
+                self._retire(running)
+            self.transport.close()
+
+
+class ClusterDispatcher(CampaignService):
+    """The cluster-level coordinator over N node executors.
+
+    A :class:`~repro.service.service.CampaignService` that *grants*
+    points to remote nodes over a transport instead of (only) running
+    them locally.  All single-node behaviour is inherited — journal
+    ownership, inbox ingestion, bounded queue, cache-hit service,
+    expired-lease reaping, retry/quarantine policy — and stays the
+    degradation target: when every node is dead or none ever arrives,
+    the dispatcher runs the remaining points itself (forked workers;
+    serial in-process if even forking fails).
+
+    ``fence=False`` disables fencing *enforcement* (tokens are still
+    minted) to demonstrate the legacy at-least-once behaviour; leave
+    it on.
+    """
+
+    def __init__(self, root: str | Path,
+                 transport: Transport | None = None, *,
+                 fault_plan: ServiceFaultPlan | None = None,
+                 node_deadline_seconds: float | None = None,
+                 grace_seconds: float = 5.0, fence: bool = True,
+                 local_workers: int = 1,
+                 clock: Callable[[], float] = time.time,
+                 monitor: ClusterMonitor | None = None,
+                 **service_kwargs: Any):
+        monitor = monitor if monitor is not None else ClusterMonitor()
+        super().__init__(root, workers=local_workers, monitor=monitor,
+                         **service_kwargs)
+        base = transport if transport is not None \
+            else FilesystemTransport(self.root, DISPATCHER_ENDPOINT)
+        if fault_plan is not None:
+            base = FaultyTransport(base, fault_plan)
+        self.transport = base
+        self.fence_enabled = fence
+        self.grace_seconds = grace_seconds
+        self._clock = clock
+        if node_deadline_seconds is None:
+            node_deadline_seconds = self.lease_seconds
+        self.registry = NodeRegistry(node_deadline_seconds, clock=clock)
+        self.degradations: list[DegradationEvent] = []
+        # "cluster" -> "local" (forked workers) -> "serial".
+        self._tier = "cluster"
+        self._started = clock()
+        self._ever_had_nodes = False
+
+    def _now(self) -> float:
+        return self._clock()
+
+    # -- transport protocol ------------------------------------------------
+
+    def _pump_transport(self) -> bool:
+        progressed = False
+        for message in self.transport.receive(DISPATCHER_ENDPOINT):
+            handler = getattr(
+                self, f"_on_{message.get('type', 'unknown')}", None)
+            if handler is None:
+                continue  # unknown message kinds are dropped
+            handler(message)
+            progressed = True
+        return progressed
+
+    def _on_register(self, message: dict) -> None:
+        node = str(message["node"])
+        workers = int(message.get("workers", 1))
+        if self.registry.register(node, workers):
+            self.monitor.node_registered(node, workers)
+        self._ever_had_nodes = True
+
+    def _on_heartbeat(self, message: dict) -> None:
+        node = str(message["node"])
+        if not self.registry.heartbeat(node):
+            # A node we never met, or one already declared dead (a
+            # woken zombie): admit it fresh.  Its old leases are gone;
+            # its old fences protect the journal.
+            self._on_register(message)
+            return
+        held_keys = set()
+        for entry in message.get("held") or []:
+            if isinstance(entry, (list, tuple)) and len(entry) >= 2:
+                held_keys.add((str(entry[0]), int(entry[1])))
+        self.monitor.node_heartbeat(node, self.registry.age(node),
+                                    len(held_keys))
+        # A heartbeat renews exactly the leases the node acknowledges.
+        # A lease the node does not know about (its grant was dropped
+        # in transit) is deliberately left to expire and rebalance.
+        for job_id, point in self._node_leases(node):
+            if (job_id, point["index"]) not in held_keys:
+                continue
+            fence = (point["lease"] or {}).get("fence")
+            try:
+                self.store.renew(job_id, point["index"], self._now(),
+                                 self.lease_seconds, fence=fence)
+            except StaleWriteError:
+                self.monitor.stale_write(job_id, point["index"])
+
+    def _on_request(self, message: dict) -> None:
+        node = str(message["node"])
+        if node not in self.registry.alive():
+            return  # no grants for the silent or unknown
+        slots = max(0, int(message.get("slots", 1)))
+        for _slot in range(slots):
+            if not self._grant(node):
+                break
+
+    def _on_complete(self, message: dict) -> None:
+        node = str(message.get("node", "?"))
+        job_id, index = message["job"], int(message["index"])
+        fence = message.get("fence")
+        try:
+            point = self.store.jobs[job_id]["points"][index]
+        except (KeyError, IndexError):
+            return  # a completion for a job this root never had
+        if fence is None and point["state"] in DONE_STATES:
+            # Unfenced duplicate delivery: drop it without journaling
+            # (with fencing on, the fence check below handles this and
+            # records the rejection durably).
+            return
+        try:
+            self.store.complete(
+                job_id, index, cache_key=message.get("cache_key"),
+                verified=message.get("verified"),
+                failure=message.get("failure"), cached=False,
+                fence=fence)
+        except StaleWriteError:
+            self.monitor.stale_write(job_id, index)
+            self.monitor.grant_settled(node, job_id, index, "stale")
+            return
+        self.monitor.completed(job_id, index, cached=False)
+        self.monitor.grant_settled(node, job_id, index, "complete")
+        self._not_before.pop((job_id, index), None)
+
+    def _on_failure(self, message: dict) -> None:
+        node = str(message.get("node", "?"))
+        job_id, index = message["job"], int(message["index"])
+        try:
+            point = self.store.jobs[job_id]["points"][index]
+        except (KeyError, IndexError):
+            return
+        self.monitor.grant_settled(node, job_id, index,
+                                   message.get("outcome", "failure"))
+        self._record_failure(job_id, index, point["settings"],
+                             str(message.get("outcome", "crash")),
+                             message.get("exit_code"),
+                             str(message.get("stderr_tail", "")),
+                             fence=message.get("fence"))
+
+    def _grant(self, node: str) -> bool:
+        claimed = self.store.claim(node, self._now(),
+                                   self.lease_seconds,
+                                   eligible=self._eligible)
+        if claimed is None:
+            return False
+        job_id, point = claimed
+        index = point["index"]
+        fence = (point["lease"] or {}).get("fence")
+        self.monitor.claimed(job_id, index)
+        key = self._cache_key(job_id, point["settings"])
+        cached = self.cache.get(key) if key is not None else None
+        if cached is not None:
+            # Cache hits are served dispatcher-side; the node never
+            # sees the point.
+            self.store.complete(job_id, index, cache_key=key,
+                                verified=cached.verified,
+                                failure=cached.failure_record(),
+                                cached=True, fence=fence)
+            self.monitor.completed(job_id, index, cached=True)
+            return True
+        spec = self.store.jobs[job_id]["spec"]
+        self.transport.send(node, {
+            "type": "grant", "src": DISPATCHER_ENDPOINT,
+            "job": job_id, "index": index,
+            "settings": point["settings"], "spec": spec,
+            "fence": fence if self.fence_enabled else None,
+            "cache_key": key,
+            "lease_seconds": self.lease_seconds})
+        self.monitor.granted(node, job_id, index, fence)
+        return True
+
+    def _node_leases(self, node: str) -> list[tuple[str, dict]]:
+        held = []
+        for job_id in self.store.jobs_in_order():
+            for point in self.store.jobs[job_id]["points"]:
+                lease = point["lease"]
+                if point["state"] == "leased" and lease is not None \
+                        and lease.get("worker") == node:
+                    held.append((job_id, point))
+        return held
+
+    # -- node death and rebalancing ----------------------------------------
+
+    def _reap_dead_nodes(self) -> bool:
+        progressed = False
+        for node in self.registry.reap():
+            leases = self._node_leases(node)
+            self.monitor.node_dead(node, self.registry.age(node),
+                                   len(leases))
+            for job_id, point in leases:
+                index = point["index"]
+                self.monitor.grant_settled(node, job_id, index,
+                                           "node-lost")
+                self.monitor.rebalanced(node, job_id, index)
+                # Charged as an attempt: a lost node's in-flight work
+                # is indistinguishable from a wedged point, so the
+                # seeded RetryPolicy governs the re-dispatch (and a
+                # point that keeps killing nodes quarantines).
+                self._record_failure(job_id, index, point["settings"],
+                                     "node-lost", None, "")
+            progressed = True
+        return progressed
+
+    # -- degradation ladder ------------------------------------------------
+
+    def _note_degradation(self, to_tier: str, reason: str) -> None:
+        from_workers = (len(self.registry.nodes)
+                        if self._tier == "cluster" else self.workers)
+        to_workers = self.workers if to_tier == "local" else 0
+        event = DegradationEvent(reason=reason,
+                                 from_workers=from_workers,
+                                 to_workers=to_workers,
+                                 pool_failures=len(self.degradations))
+        self.degradations.append(event)
+        self.monitor.degraded(event)
+        self._tier = to_tier
+
+    def _should_degrade(self) -> bool:
+        if self._tier != "cluster" or not self.store.has_work():
+            return False
+        if self.registry.alive():
+            return False
+        if self._ever_had_nodes:
+            return True  # had a fleet, lost it
+        return self._now() - self._started > self.grace_seconds
+
+    def _spawn(self, job_id: str, point: dict,
+               cache_key: str | None, fence: int | None = None) -> None:
+        try:
+            super()._spawn(job_id, point, cache_key, fence)
+        except OSError as exc:
+            if self._tier == "local":
+                self._note_degradation(
+                    "serial", f"cannot fork local workers: {exc}")
+            raise
+
+    def _serial_tick(self) -> bool:
+        """The last rung: one point, in-process, no children at all."""
+        claimed = self.store.claim(self.worker_id, self._now(),
+                                   self.lease_seconds,
+                                   eligible=self._eligible)
+        if claimed is None:
+            return False
+        job_id, point = claimed
+        index = point["index"]
+        fence = (point["lease"] or {}).get("fence")
+        self.monitor.claimed(job_id, index)
+        key = self._cache_key(job_id, point["settings"])
+        cached = self.cache.get(key) if key is not None else None
+        if cached is not None:
+            result = cached
+            served_from_cache = True
+        else:
+            spec = self.store.jobs[job_id]["spec"]
+            result = run_point(point["settings"], spec["cores"],
+                               spec["overrides"],
+                               self._workload_factory(job_id),
+                               require_verified=spec["require_verified"])
+            served_from_cache = False
+        cache_key = None
+        if result.results is not None and key is not None:
+            if served_from_cache or self.cache.put(key, result):
+                cache_key = key
+        try:
+            self.store.complete(job_id, index, cache_key=cache_key,
+                                verified=result.verified,
+                                failure=result.failure_record(),
+                                cached=served_from_cache, fence=fence)
+        except StaleWriteError:
+            self.monitor.stale_write(job_id, index)
+            return True
+        self.monitor.completed(job_id, index, cached=served_from_cache)
+        return True
+
+    def _local_tick(self) -> bool:
+        if self._tier == "serial":
+            return self._serial_tick()
+        progressed = self._fill_slots()
+        progressed |= self._pump()
+        return progressed
+
+    # -- the dispatcher loop -----------------------------------------------
+
+    def step(self) -> bool:
+        """One dispatcher turn; the unit deterministic tests drive."""
+        self.ingest_inbox()
+        self._recover_dead_leases()
+        progressed = self._pump_transport()
+        progressed |= self._reap_dead_nodes()
+        self._reap_expired()
+        if self._should_degrade():
+            self._note_degradation(
+                "local",
+                "no live nodes; dispatcher running points itself"
+                if self._ever_had_nodes else
+                f"no node registered within {self.grace_seconds:.1f}s; "
+                f"dispatcher running points itself")
+        if self._tier != "cluster":
+            progressed |= self._local_tick()
+        self.monitor.observe_queue(self.store.outstanding_points(),
+                                   self.store.active_leases())
+        return progressed
+
+    def run(self, *, max_seconds: float | None = None,
+            stop: Callable[[], bool] | None = None) -> int:
+        """Drive the cluster until the queue drains; returns
+        completions this call (the cluster spelling of
+        :meth:`CampaignService.run`)."""
+        self._require_open()
+        before = self.monitor.counters["completions"]
+        deadline = (time.monotonic() + max_seconds
+                    if max_seconds is not None else None)
+        while True:
+            if stop is not None and stop():
+                break
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            progressed = self.step()
+            if not self._inflight and not self.store.has_work():
+                break
+            if not progressed and not self._inflight:
+                time.sleep(_POLL_SECONDS)
+        return self.monitor.counters["completions"] - before
+
+    def shutdown_nodes(self) -> None:
+        """Tell every node (alive or not) to finish and exit."""
+        for node in list(self.registry.nodes):
+            try:
+                self.transport.send(node, {"type": "shutdown",
+                                           "src": DISPATCHER_ENDPOINT})
+            except ServiceError:
+                continue
+
+    def result(self, job_id: str, *, wait: bool = False) -> SweepTable:
+        table = super().result(job_id, wait=wait)
+        table.degradations = list(self.degradations)
+        return table
+
+    def close(self) -> None:
+        if self._opened:
+            self.shutdown_nodes()
+            self.transport.close()
+        super().close()
+

@@ -80,6 +80,7 @@ from repro.service.store import (
     JobStore,
     QueueFullError,
     ServiceError,
+    StaleWriteError,
 )
 from repro.telemetry.campaign import ServiceMonitor
 
@@ -89,6 +90,7 @@ __all__ = [
     "JobStatus",
     "QueueFullError",
     "ServiceError",
+    "StaleWriteError",
     "assemble_result",
     "build_spec",
     "new_job_id",
@@ -268,7 +270,7 @@ class _Running:
 
     def __init__(self, job_id: str, index: int, settings: dict,
                  cache_key: str | None, process, conn,
-                 stderr_path: str | None):
+                 stderr_path: str | None, fence: int | None = None):
         self.job_id = job_id
         self.index = index
         self.settings = settings
@@ -276,6 +278,7 @@ class _Running:
         self.process = process
         self.conn = conn
         self.stderr_path = stderr_path
+        self.fence = fence
         self.last_renew = time.monotonic()
 
 
@@ -365,6 +368,10 @@ class CampaignService:
         if not self._opened:
             raise ServiceError("service is not open (use it as a "
                                "context manager or call open())")
+
+    def _now(self) -> float:
+        """Lease-clock wall time; subclasses may inject a test clock."""
+        return time.time()
 
     # -- submission --------------------------------------------------------
 
@@ -529,18 +536,19 @@ class CampaignService:
 
     def _eligible(self, job_id: str, point: dict) -> bool:
         not_before = self._not_before.get((job_id, point["index"]))
-        return not_before is None or not_before <= time.time()
+        return not_before is None or not_before <= self._now()
 
     def _fill_slots(self) -> bool:
         progressed = False
         while len(self._inflight) < self.workers:
-            claimed = self.store.claim(self.worker_id, time.time(),
+            claimed = self.store.claim(self.worker_id, self._now(),
                                        self.lease_seconds,
                                        eligible=self._eligible)
             if claimed is None:
                 return progressed
             job_id, point = claimed
             index = point["index"]
+            fence = (point["lease"] or {}).get("fence")
             self.monitor.claimed(job_id, index)
             progressed = True
             key = self._cache_key(job_id, point["settings"])
@@ -550,14 +558,15 @@ class CampaignService:
                 self.store.complete(
                     job_id, index, cache_key=key,
                     verified=cached.verified,
-                    failure=cached.failure_record(), cached=True)
+                    failure=cached.failure_record(), cached=True,
+                    fence=fence)
                 self.monitor.completed(job_id, index, cached=True)
                 continue
             try:
-                self._spawn(job_id, point, key)
+                self._spawn(job_id, point, key, fence)
             except OSError:
                 # Fork pressure: give the point back and breathe.
-                self.store.release(job_id, index)
+                self.store.release(job_id, index, fence=fence)
                 self.monitor.released(job_id, index)
                 time.sleep(_POLL_SECONDS)
                 return progressed
@@ -594,7 +603,8 @@ class CampaignService:
         return make_workload
 
     def _spawn(self, job_id: str, point: dict,
-               cache_key: str | None) -> None:
+               cache_key: str | None,
+               fence: int | None = None) -> None:
         spec = self.store.jobs[job_id]["spec"]
         parent_conn, child_conn = self._context.Pipe(duplex=False)
         fd, stderr_path = tempfile.mkstemp(prefix="coyote-service-",
@@ -623,7 +633,8 @@ class CampaignService:
             raise
         child_conn.close()
         running = _Running(job_id, point["index"], point["settings"],
-                           cache_key, process, parent_conn, stderr_path)
+                           cache_key, process, parent_conn, stderr_path,
+                           fence)
         self._inflight[parent_conn] = running
         if self._chaos_on_spawn is not None:
             self._chaos_on_spawn(running)
@@ -658,8 +669,14 @@ class CampaignService:
         now = time.monotonic()
         if now - running.last_renew >= self.lease_seconds / 3:
             running.last_renew = now
-            self.store.renew(running.job_id, running.index,
-                             time.time(), self.lease_seconds)
+            try:
+                self.store.renew(running.job_id, running.index,
+                                 self._now(), self.lease_seconds,
+                                 fence=running.fence)
+            except StaleWriteError:
+                # The lease lapsed and was reaped out from under this
+                # worker; the expiry sweep will retire it.
+                self.monitor.stale_write(running.job_id, running.index)
 
     def _retire(self, running: _Running) -> str:
         process = running.process
@@ -694,11 +711,19 @@ class CampaignService:
             # that kept its results): cacheable and shareable.
             if self.cache.put(running.cache_key, point):
                 cache_key = running.cache_key
-        self.store.complete(running.job_id, running.index,
-                            cache_key=cache_key,
-                            verified=point.verified,
-                            failure=point.failure_record(),
-                            cached=False)
+        try:
+            self.store.complete(running.job_id, running.index,
+                                cache_key=cache_key,
+                                verified=point.verified,
+                                failure=point.failure_record(),
+                                cached=False, fence=running.fence)
+        except StaleWriteError:
+            # The lease was reaped while the result was in flight; the
+            # point belongs to someone else now.  The cache write above
+            # is harmless (same key, same bytes) but the journal stays
+            # single-completion.
+            self.monitor.stale_write(running.job_id, running.index)
+            return
         self.monitor.completed(running.job_id, running.index,
                                cached=False)
         self._not_before.pop((running.job_id, running.index), None)
@@ -707,11 +732,12 @@ class CampaignService:
         tail = self._retire(running)
         exit_code = running.process.exitcode
         self._record_failure(running.job_id, running.index,
-                             running.settings, outcome, exit_code, tail)
+                             running.settings, outcome, exit_code, tail,
+                             fence=running.fence)
 
     def _record_failure(self, job_id: str, index: int, settings: dict,
                         outcome: str, exit_code: int | None,
-                        tail: str) -> None:
+                        tail: str, fence: int | None = None) -> None:
         attempts = len(self.store.jobs[job_id]["points"][index]
                        ["attempts"]) + 1
         final = attempts >= self.retry.max_attempts
@@ -724,21 +750,25 @@ class CampaignService:
                                   f"quarantined after {attempts} "
                                   f"attempt(s); last outcome: "
                                   f"{outcome}{suffix}"}
-        self.store.attempt(job_id, index, outcome=outcome,
-                           exit_code=exit_code, stderr_tail=tail,
-                           final=final, failure=failure)
+        try:
+            self.store.attempt(job_id, index, outcome=outcome,
+                               exit_code=exit_code, stderr_tail=tail,
+                               final=final, failure=failure, fence=fence)
+        except StaleWriteError:
+            self.monitor.stale_write(job_id, index)
+            return
         if final:
             self.monitor.quarantined(job_id, index, attempts)
         else:
             backoff = self.retry.backoff_seconds(
                 attempts, seed=self.seed, index=index)
-            self._not_before[(job_id, index)] = time.time() + backoff
+            self._not_before[(job_id, index)] = self._now() + backoff
             self.monitor.retry(job_id, index, attempts, backoff)
 
     # -- lease recovery ----------------------------------------------------
 
     def _reap_expired(self) -> None:
-        now = time.time()
+        now = self._now()
         for job_id, point in self.store.expired_leases(now):
             index = point["index"]
             running = self._find_inflight(job_id, index)
@@ -791,7 +821,12 @@ class CampaignService:
         their leases (no attempt charged), persist."""
         for running in list(self._inflight.values()):
             self._retire(running)
-            self.store.release(running.job_id, running.index)
+            try:
+                self.store.release(running.job_id, running.index,
+                                   fence=running.fence)
+            except StaleWriteError:
+                self.monitor.stale_write(running.job_id, running.index)
+                continue
             self.monitor.released(running.job_id, running.index)
 
     # -- the long-running server loop --------------------------------------

@@ -21,6 +21,18 @@ is reclaimed by whichever service process observes the expiry —
 at-least-once execution, made safe by the content-addressed result
 cache (duplicate completions are idempotent: the first one wins).
 
+Every lease grant also mints a **fencing token**: a store-wide
+monotonic integer recorded on the ``claim`` event and persisted through
+snapshot compaction.  Executors echo the token back on ``complete`` /
+``attempt`` / ``renew`` / ``release``; a token that no longer matches
+the point's *current* lease (the lease was reaped and re-granted, or
+the point already settled) raises :class:`StaleWriteError` *before*
+anything is journaled, and the rejection itself is recorded as a
+durable ``stale_write`` event.  This is what stops a SIGSTOP'd zombie
+executor that wakes after its lease was rebalanced from committing a
+stale result: with fencing, the journal carries exactly one
+``complete`` per point.
+
 The store makes no policy decisions: *when* to retry versus quarantine
 is the service's call (it consults the existing seeded
 :class:`~repro.resilience.supervisor.RetryPolicy`); the store only
@@ -53,6 +65,17 @@ class QueueFullError(ServiceError):
 
 class JobNotFoundError(ServiceError):
     """No job with the requested id exists in this service."""
+
+
+class StaleWriteError(ServiceError):
+    """A fenced write carried a token that is no longer current.
+
+    Raised *before* journaling, so a zombie executor (SIGSTOP'd past
+    its lease, reaped, then resumed) can never append a ``complete`` or
+    ``attempt`` for a lease it no longer holds.  The rejection is
+    recorded separately as a ``stale_write`` journal event so operators
+    can audit how often fencing fired.
+    """
 
 
 @dataclass
@@ -103,6 +126,8 @@ class JobStore:
         self.max_queue = max_queue
         self.compact_every = compact_every
         self.jobs: dict[str, dict] = {}
+        self.fence_counter = 0
+        self.stale_writes = 0
 
     # -- recovery ----------------------------------------------------------
 
@@ -116,12 +141,16 @@ class JobStore:
         state, events = self.journal.load(readonly=readonly)
         if state is not None:
             self.jobs = state["jobs"]
+            # Pre-fencing snapshots carry neither counter; default 0.
+            self.fence_counter = state.get("fence", 0)
+            self.stale_writes = state.get("stale_writes", 0)
         for event in events:
             self._apply(event)
         return self
 
     def state_dict(self) -> dict:
-        return {"jobs": self.jobs}
+        return {"jobs": self.jobs, "fence": self.fence_counter,
+                "stale_writes": self.stale_writes}
 
     def compact(self) -> None:
         self.journal.compact(self.state_dict())
@@ -157,19 +186,42 @@ class JobStore:
 
     def _apply_claim(self, event: dict) -> None:
         point = self._point(event["job"], event["index"])
+        fence = event.get("fence")
         point["state"] = "leased"
         point["lease"] = {"worker": event["worker"],
-                          "expires": event["expires"]}
+                          "expires": event["expires"],
+                          "fence": fence}
+        if fence is not None:
+            self.fence_counter = max(self.fence_counter, fence)
+
+    def _apply_stale_write(self, event: dict) -> None:
+        self.stale_writes += 1
 
     def _apply_renew(self, event: dict) -> None:
         point = self._point(event["job"], event["index"])
         if point["lease"] is not None:
             point["lease"]["expires"] = event["expires"]
 
+    def _stale_fenced(self, point: dict, event: dict) -> bool:
+        """True when a fenced event no longer matches the live lease.
+
+        Commands reject stale fences before journaling, so this only
+        fires on replay of journals written by pre-fencing code paths
+        or hand-edited journals — defence in depth, same outcome:
+        stale writes never mutate a settled or re-leased point.
+        """
+        fence = event.get("fence")
+        if fence is None:
+            return False
+        lease = point["lease"]
+        return lease is None or lease.get("fence") != fence
+
     def _apply_attempt(self, event: dict) -> None:
         point = self._point(event["job"], event["index"])
         if point["state"] in DONE_STATES:
             return  # stale observation of an already-settled point
+        if self._stale_fenced(point, event):
+            return
         point["attempts"].append({
             "outcome": event["outcome"],
             "exit_code": event.get("exit_code"),
@@ -185,6 +237,8 @@ class JobStore:
         point = self._point(event["job"], event["index"])
         if point["state"] in DONE_STATES:
             return  # at-least-once: later duplicate completions no-op
+        if self._stale_fenced(point, event):
+            return
         point["state"] = "done"
         point["lease"] = None
         point["cache_key"] = event.get("cache_key")
@@ -256,31 +310,64 @@ class JobStore:
                     continue
                 self._record("claim", job=job_id,
                              index=point["index"], worker=worker,
-                             expires=now + lease_seconds)
+                             expires=now + lease_seconds,
+                             fence=self.fence_counter + 1)
                 return job_id, point
         return None
 
+    def check_fence(self, job_id: str, index: int,
+                    fence: int | None) -> None:
+        """Reject a write whose fencing token is no longer current.
+
+        ``fence=None`` skips the check (unfenced legacy caller, or a
+        store-authoritative transition like a dispatcher reap).  A
+        mismatch journals a durable ``stale_write`` event and raises
+        :class:`StaleWriteError` — the caller's write never reaches the
+        journal.
+        """
+        if fence is None:
+            return
+        point = self._point(job_id, index)
+        lease = point["lease"]
+        held = None if lease is None else lease.get("fence")
+        if point["state"] == "leased" and held == fence:
+            return
+        self._record("stale_write", job=job_id, index=index,
+                     fence=fence, held=held, state=point["state"])
+        raise StaleWriteError(
+            f"stale fenced write on {job_id}[{index}]: token {fence} "
+            f"but point is {point['state']!r} under fence {held}",
+            job=job_id, index=index, fence=fence, held=held,
+            state=point["state"])
+
     def renew(self, job_id: str, index: int, now: float,
-              lease_seconds: float) -> None:
+              lease_seconds: float, *, fence: int | None = None) -> None:
+        self.check_fence(job_id, index, fence)
         self._record("renew", job=job_id, index=index,
                      expires=now + lease_seconds)
 
     def complete(self, job_id: str, index: int, *,
                  cache_key: str | None, verified: bool | None,
-                 failure: dict | None, cached: bool = False) -> None:
+                 failure: dict | None, cached: bool = False,
+                 fence: int | None = None) -> None:
+        self.check_fence(job_id, index, fence)
         self._record("complete", job=job_id, index=index,
                      cache_key=cache_key, verified=verified,
-                     failure=failure, cached=cached)
+                     failure=failure, cached=cached, fence=fence)
 
     def attempt(self, job_id: str, index: int, *, outcome: str,
                 exit_code: int | None, stderr_tail: str, final: bool,
-                failure: dict | None = None) -> None:
+                failure: dict | None = None,
+                fence: int | None = None) -> None:
+        self.check_fence(job_id, index, fence)
         self._record("attempt", job=job_id, index=index,
                      outcome=outcome, exit_code=exit_code,
                      stderr_tail=stderr_tail, final=final,
-                     failure=failure)
+                     failure=failure, fence=fence)
 
-    def release(self, job_id: str, index: int) -> None:
+    def release(self, job_id: str, index: int, *,
+                fence: int | None = None) -> None:
+        self.check_fence(job_id, index, fence)
         self._record("release", job=job_id, index=index)
 
     def invalidate(self, job_id: str, index: int) -> None:

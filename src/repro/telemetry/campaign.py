@@ -170,6 +170,7 @@ class ServiceMonitor:
             "completions": 0, "cache_hits": 0, "cache_misses": 0,
             "cache_corrupt": 0, "retries": 0, "quarantined": 0,
             "lease_expired": 0, "released": 0, "rejected": 0,
+            "stale_writes": 0,
         }
         self.gauges = {"queue_depth": 0, "active_leases": 0}
         self._sink = sink or logger.info
@@ -222,3 +223,101 @@ class ServiceMonitor:
 
     def released(self, job_id: str, index: int) -> None:
         self.counters["released"] += 1
+
+    def stale_write(self, job_id: str, index: int) -> None:
+        self.counters["stale_writes"] += 1
+        self._sink(f"service: {job_id}[{index}] stale fenced write "
+                   f"rejected")
+
+
+class ClusterMonitor(ServiceMonitor):
+    """Observability of the multi-node cluster dispatcher.
+
+    Extends :class:`ServiceMonitor` with the cluster-only signals:
+    node lifecycle counters (registrations, deaths, rebalanced
+    leases), per-node heartbeat gauges (last-seen wall-clock age and
+    leases held), transport-fault counters fed by a
+    :class:`~repro.service.transport.FaultyTransport`, and per-grant
+    Chrome trace spans (one track per node) so a whole chaos
+    campaign's schedule opens in Perfetto.
+    """
+
+    def __init__(self, sink: Callable[[str], None] | None = None,
+                 clock: Callable[[], float] = time.perf_counter):
+        super().__init__(sink)
+        self.counters.update({
+            "nodes_registered": 0, "node_heartbeats": 0,
+            "nodes_dead": 0, "rebalanced": 0, "grants": 0,
+            "degradations": 0,
+        })
+        self.node_gauges: dict[str, dict[str, float]] = {}
+        self._clock = clock
+        self._origin = clock()
+        self._open_grants: dict[tuple[str, str, int], float] = {}
+        self._events: list[dict] = []
+        self._node_tids: dict[str, int] = {}
+
+    def _now_us(self) -> float:
+        return (self._clock() - self._origin) * 1e6
+
+    def _tid(self, node: str) -> int:
+        return self._node_tids.setdefault(node, len(self._node_tids))
+
+    def node_registered(self, node: str, workers: int) -> None:
+        self.counters["nodes_registered"] += 1
+        self.node_gauges[node] = {"last_seen_age": 0.0,
+                                  "leases_held": 0}
+        self._sink(f"cluster: node {node} registered "
+                   f"({workers} worker slot(s))")
+
+    def node_heartbeat(self, node: str, age: float,
+                       leases_held: int) -> None:
+        self.counters["node_heartbeats"] += 1
+        self.node_gauges[node] = {"last_seen_age": round(age, 3),
+                                  "leases_held": leases_held}
+
+    def node_dead(self, node: str, age: float, leases: int) -> None:
+        self.counters["nodes_dead"] += 1
+        self.node_gauges.pop(node, None)
+        self._sink(f"cluster: node {node} declared dead (silent "
+                   f"{age:.1f}s, {leases} lease(s) to rebalance)")
+
+    def rebalanced(self, node: str, job_id: str, index: int) -> None:
+        self.counters["rebalanced"] += 1
+        self._sink(f"cluster: {job_id}[{index}] reaped from dead "
+                   f"node {node}; point re-queued")
+
+    def granted(self, node: str, job_id: str, index: int,
+                fence: int | None) -> None:
+        self.counters["grants"] += 1
+        self._open_grants[(node, job_id, index)] = self._now_us()
+
+    def grant_settled(self, node: str, job_id: str, index: int,
+                      outcome: str) -> None:
+        start = self._open_grants.pop((node, job_id, index), None)
+        if start is None:
+            return
+        self._events.append({
+            "name": f"{job_id}[{index}]",
+            "cat": "cluster", "ph": "X", "pid": 1,
+            "tid": self._tid(node),
+            "ts": round(start, 3),
+            "dur": round(self._now_us() - start, 3),
+            "args": {"node": node, "outcome": outcome},
+        })
+
+    def degraded(self, event) -> None:
+        self.counters["degradations"] += 1
+        target = event.to_workers or "serial"
+        self._sink(f"cluster degraded: {event.reason} "
+                   f"({event.from_workers} -> {target})")
+
+    def chrome_trace(self) -> dict:
+        """The per-node grant timeline as a Chrome trace document."""
+        events = [
+            {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+             "args": {"name": f"node {node}"}}
+            for node, tid in sorted(self._node_tids.items(),
+                                    key=lambda item: item[1])]
+        return {"traceEvents": events + list(self._events),
+                "displayTimeUnit": "ms"}

@@ -65,6 +65,11 @@ REQUIRED_FACADE_NAMES = (
     "JobStatus",
     "ServiceError",
     "QueueFullError",
+    # the multi-node cluster tier
+    "ClusterDispatcher",
+    "ClusterNode",
+    "ServiceFaultPlan",
+    "StaleWriteError",
 )
 
 

@@ -1,11 +1,15 @@
 """The content-addressed result cache: keys, integrity, quarantine.
 
-Two guarantees under test: the key covers everything that determines a
-result (config knob, kernel image, fault seed — change any one and the
-key changes), and a corrupt entry is *never served and never fatal* —
-every corruption mode yields a miss with the bad entry set aside.
+Three guarantees under test: the key covers everything that determines
+a result (config knob, kernel image, fault seed — change any one and
+the key changes), a corrupt entry is *never served and never fatal* —
+every corruption mode yields a miss with the bad entry set aside — and
+concurrent same-key writers from separate processes (a cluster's nodes
+racing on one shared cache) leave exactly one checksummed entry with
+no torn read ever observable.
 """
 
+import multiprocessing
 import os
 
 import pytest
@@ -30,6 +34,17 @@ def cache(tmp_path):
 def make_point(latency=2):
     return SweepPoint(settings={"noc.latency": latency}, results=None,
                       verified=True)
+
+
+def _hammer_put(root, key, barrier):
+    """Child-process body for the same-key writer race: both writers
+    put identical bytes (the content-addressing contract) as fast as
+    they can."""
+    cache = ResultCache(root)
+    point = make_point()
+    barrier.wait()
+    for _ in range(50):
+        cache.put(key, point)
 
 
 class TestKeys:
@@ -150,6 +165,41 @@ class TestCorruption:
         leftovers = [path for path in cache.objects.rglob("*")
                      if path.is_file() and path.suffix == ".tmp"]
         assert leftovers == []
+
+    def test_concurrent_same_key_writers_never_tear(self, tmp_path):
+        """Two separate processes race ``put`` on one key — the shape
+        of a cluster's nodes finishing the same point against a shared
+        cache.  The atomic-replace discipline must leave exactly one
+        checksummed entry, and a reader polling throughout must never
+        observe a torn entry (which would show up as a quarantined
+        ``corrupt`` count, or an exception)."""
+        root = tmp_path / "cache"
+        key = self.KEY
+        context = multiprocessing.get_context(
+            "fork" if "fork"
+            in multiprocessing.get_all_start_methods() else "spawn")
+        barrier = context.Barrier(3)
+        writers = [context.Process(target=_hammer_put,
+                                   args=(root, key, barrier),
+                                   daemon=True)
+                   for _ in range(2)]
+        for writer in writers:
+            writer.start()
+        reader = ResultCache(root)
+        barrier.wait()  # release both writers at the same instant
+        while any(writer.is_alive() for writer in writers):
+            point = reader.get(key)  # must never raise, never tear
+            if point is not None:
+                assert point.settings == {"noc.latency": 2}
+        for writer in writers:
+            writer.join()
+            assert writer.exitcode == 0
+        assert reader.corrupt == 0
+        final = reader.get(key)
+        assert final.verified and final.settings == {"noc.latency": 2}
+        entries = [path for path in reader.objects.rglob("*")
+                   if path.is_file()]
+        assert len(entries) == 1  # one entry, no scratch leftovers
 
     def test_atomic_write_via_replace(self, cache, monkeypatch):
         """A crash mid-put must never leave a partial entry under the

@@ -12,6 +12,7 @@ from repro.service.store import (
     JobNotFoundError,
     JobStore,
     QueueFullError,
+    StaleWriteError,
 )
 
 POINTS = [{"noc.latency": 2}, {"noc.latency": 4}, {"noc.latency": 6}]
@@ -43,7 +44,8 @@ class TestLifecycle:
         job_id, point = claimed
         assert (job_id, point["index"]) == ("job-1", 0)
         assert point["state"] == "leased"
-        assert point["lease"] == {"worker": "w", "expires": 130.0}
+        assert point["lease"] == {"worker": "w", "expires": 130.0,
+                                  "fence": 1}
         store.complete("job-1", 0, cache_key="k0", verified=True,
                        failure=None)
         assert store.jobs["job-1"]["points"][0]["state"] == "done"
@@ -195,6 +197,92 @@ class TestBoundsAndLeases:
         assert store.expired_leases(now=140.0) == []
         assert store.expired_leases(now=156.0) != []
         store.close()
+
+
+class TestFencing:
+    def test_fences_are_minted_monotonically(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS)
+        fences = []
+        for _ in range(3):
+            _, point = store.claim("w", now=0.0, lease_seconds=30.0)
+            fences.append(point["lease"]["fence"])
+        assert fences == [1, 2, 3]
+        # A reclaim after release mints a strictly newer token.
+        store.release("job-1", 0)
+        _, point = store.claim("w2", now=0.0, lease_seconds=30.0)
+        assert point["lease"]["fence"] == 4
+        store.close()
+
+    def test_stale_fence_rejected_before_journaling(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:1])
+        store.claim("zombie", now=0.0, lease_seconds=30.0)
+        store.release("job-1", 0)
+        _, point = store.claim("live", now=0.0, lease_seconds=30.0)
+        fresh = point["lease"]["fence"]
+        with pytest.raises(StaleWriteError, match="stale fence"):
+            store.complete("job-1", 0, cache_key="zombie-k",
+                           verified=True, failure=None, fence=1)
+        # The rejection itself is durable, the complete is not.
+        assert store.stale_writes == 1
+        assert point["state"] == "leased"
+        store.complete("job-1", 0, cache_key="live-k", verified=True,
+                       failure=None, fence=fresh)
+        assert point["cache_key"] == "live-k"
+        replay = replayed(tmp_path)
+        assert replay.jobs == store.jobs
+        assert replay.stale_writes == 1
+        assert replay.fence_counter == store.fence_counter
+        store.close()
+
+    def test_fence_guards_attempt_and_renew_and_release(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:1])
+        store.claim("zombie", now=0.0, lease_seconds=30.0)
+        store.release("job-1", 0)
+        store.claim("live", now=0.0, lease_seconds=30.0)
+        with pytest.raises(StaleWriteError):
+            store.attempt("job-1", 0, outcome="crash", exit_code=-9,
+                          stderr_tail="", final=False, fence=1)
+        with pytest.raises(StaleWriteError):
+            store.renew("job-1", 0, now=1.0, lease_seconds=30.0,
+                        fence=1)
+        with pytest.raises(StaleWriteError):
+            store.release("job-1", 0, fence=1)
+        assert store.stale_writes == 3
+        assert store.jobs["job-1"]["points"][0]["state"] == "leased"
+        store.close()
+
+    def test_unfenced_commands_bypass_the_check(self, tmp_path):
+        # fence=None is the single-node executor: no token, no check.
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:1])
+        store.claim("w", now=0.0, lease_seconds=30.0)
+        store.complete("job-1", 0, cache_key="k", verified=True,
+                       failure=None)
+        assert store.stale_writes == 0
+        store.close()
+
+    def test_snapshot_roundtrip_preserves_fence_state(self, tmp_path):
+        store = open_store(tmp_path)
+        store.submit("job-1", SPEC, POINTS[:1])
+        store.claim("zombie", now=0.0, lease_seconds=30.0)
+        store.release("job-1", 0)
+        store.claim("live", now=0.0, lease_seconds=30.0)
+        with pytest.raises(StaleWriteError):
+            store.complete("job-1", 0, cache_key="k", verified=True,
+                           failure=None, fence=1)
+        store.compact()
+        store.close()
+        reopened = open_store(tmp_path)
+        assert reopened.fence_counter == 2
+        assert reopened.stale_writes == 1
+        # New claims keep minting above the compacted high-water mark.
+        reopened.release("job-1", 0)
+        _, point = reopened.claim("w", now=0.0, lease_seconds=30.0)
+        assert point["lease"]["fence"] == 3
+        reopened.close()
 
 
 class TestCompactionIntegration:
